@@ -1,0 +1,35 @@
+// Ablation A3 (paper Lemmas 1-3): measured memory/message sizes against
+// the analytical bounds, per network.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Ablation — memory & message bounds (Lemmas 1-3)",
+                      "measured peaks vs analytical bounds after bootstrap");
+  std::printf("%-10s %14s %14s %12s %12s %14s\n", "Network", "rules/sw(max)",
+              "Lemma1 bound", "replyDB(max)", "2(Nc+Ns)", "maxMsg(bytes)");
+  for (const auto& t : topo::paper_topologies()) {
+    const int nc = 3;
+    sim::Experiment exp(bench::paper_config(t.name, nc, 1));
+    const auto res = exp.run_until_legitimate(sec(300));
+    if (!res.converged) continue;
+    exp.sim().run_until(exp.sim().now() + sec(3));
+    std::size_t max_rules = 0;
+    for (auto* s : exp.switches()) {
+      max_rules = std::max(max_rules, s->rule_table().total_rules());
+    }
+    std::size_t max_db = 0;
+    for (std::size_t k = 0; k < exp.controller_count(); ++k) {
+      max_db = std::max(max_db, exp.controller(k).reply_db().size());
+    }
+    const std::size_t n = static_cast<std::size_t>(t.switch_graph.n()) + nc;
+    const std::size_t lemma1 =
+        static_cast<std::size_t>(nc) * (n - 1) *
+        static_cast<std::size_t>(exp.config().kappa + 2);
+    std::printf("%-10s %14zu %14zu %12zu %12zu %14llu\n", t.name.c_str(),
+                max_rules, lemma1, max_db, 2 * n,
+                static_cast<unsigned long long>(
+                    exp.sim().counters().max_control_message_bytes));
+  }
+  return 0;
+}

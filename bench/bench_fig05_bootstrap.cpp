@@ -1,0 +1,16 @@
+// Fig. 5: bootstrap time for the five networks with 3 controllers.
+// Paper shape: time grows with network size/diameter (B4 fastest, EBONE
+// slowest; medians roughly 5..55 s on their testbed).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 5 — bootstrap time, 3 controllers",
+                      "violin per network; growth with diameter and size");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto s = bench::bootstrap_sample(t.name, 3);
+    bench::print_violin_row(t.name + " (D=" + std::to_string(t.expected_diameter) + ")",
+                            s);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 6: bootstrap time for Telstra (T), AT&T (A) and EBONE (E) with a
+// growing number of controllers (paper: 1..7; more controllers => slightly
+// longer bootstrap).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 6 — bootstrap vs controller count",
+                      "T1..T7, A2..A6, E1..E7 columns of the paper");
+  const int runs = 10;  // reduced repetitions; shapes are stable
+  struct Column {
+    const char* net;
+    char letter;
+    std::vector<int> counts;
+  };
+  const Column columns[] = {
+      {"Telstra", 'T', {1, 3, 5, 7}},
+      {"ATT", 'A', {2, 4, 6}},
+      {"EBONE", 'E', {1, 3, 5, 7}},
+  };
+  for (const auto& col : columns) {
+    for (int nc : col.counts) {
+      const auto s = bench::bootstrap_sample(col.net, nc, runs);
+      bench::print_violin_row(std::string(1, col.letter) + std::to_string(nc),
+                              s);
+    }
+  }
+  return 0;
+}

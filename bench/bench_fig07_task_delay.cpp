@@ -1,0 +1,53 @@
+// Fig. 7: bootstrap time as a function of the task delay (the pause before
+// each do-forever repetition and each neighborhood-discovery interval),
+// seven controllers. Paper shape: bootstrap time falls roughly linearly
+// with the delay, until very small delays overwhelm the network (rightmost
+// congestion peaks, rising earlier for the larger networks).
+//
+// Simulation-cost note: at the smallest delays the non-converging runs
+// generate enormous event counts, so each run additionally carries an
+// event budget; exhausting either budget reports the cap (that *is* the
+// congestion peak the paper plots).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 7 — bootstrap vs task delay, 7 controllers",
+                      "per-network average bootstrap over the delay sweep");
+  const double delays_s[] = {1.0, 0.7, 0.5, 0.3, 0.1, 0.06, 0.02, 0.005};
+  const int runs = 2;
+  const Time limit = sec(30);  // cap == reported congestion ceiling
+  const std::uint64_t event_budget = 8'000'000;
+
+  std::printf("%-14s", "delay(s)");
+  for (double d : delays_s) std::printf(" %7.3f", d);
+  std::printf("\n");
+  for (const auto& t : topo::paper_topologies()) {
+    std::printf("%-14s", t.name.c_str());
+    for (double d : delays_s) {
+      Sample s;
+      for (int r = 0; r < runs; ++r) {
+        auto cfg = bench::paper_config(
+            t.name, 7, bench::kBaseSeed + static_cast<std::uint64_t>(r));
+        cfg.task_delay = static_cast<Time>(d * 1e6);
+        cfg.detect_interval = std::max<Time>(msec(5), cfg.task_delay / 5);
+        sim::Experiment exp(cfg);
+        bool converged = false;
+        const Time t0 = exp.sim().now();
+        while (exp.sim().now() - t0 < limit &&
+               exp.sim().events_executed() < event_budget) {
+          exp.sim().run_until(exp.sim().now() + cfg.monitor_interval);
+          if (exp.monitor().check().legitimate) {
+            converged = true;
+            break;
+          }
+        }
+        s.add(converged ? to_seconds(exp.sim().now() - t0) : to_seconds(limit));
+      }
+      std::printf(" %7.2f", s.mean());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 9: communication cost per node for the maximum-loaded controller to
+// reach a stable network, normalized by the number of iterations it takes
+// to converge. Paper shape: similar across networks once normalized,
+// slightly higher for the two largest (values roughly 5..25).
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header(
+      "Fig. 9 — communication cost per node (max-loaded controller)",
+      "commands / iterations / nodes during bootstrap");
+  for (const auto& t : topo::paper_topologies()) {
+    const int nc = (t.name == "B4" || t.name == "Clos") ? 3 : 7;
+    Sample s;
+    for (int r = 0; r < bench::kRuns; ++r) {
+      sim::Experiment exp(bench::paper_config(
+          t.name, nc, bench::kBaseSeed + static_cast<std::uint64_t>(r)));
+      const auto res = exp.run_until_legitimate(sec(300));
+      if (!res.converged) continue;
+      // Max-loaded controller by commands sent; normalize by its completed
+      // iterations and the node count.
+      double best = 0;
+      for (std::size_t k = 0; k < res.commands.size(); ++k) {
+        if (res.iterations[k] == 0) continue;
+        const double per_node =
+            static_cast<double>(res.commands[k]) /
+            static_cast<double>(res.iterations[k]) /
+            static_cast<double>(t.switch_graph.n() + nc);
+        best = std::max(best, per_node);
+      }
+      s.add(best);
+    }
+    bench::print_violin_row(t.name + " (nC=" + std::to_string(nc) + ")", s,
+                            "msgs/node/iter");
+  }
+  return 0;
+}

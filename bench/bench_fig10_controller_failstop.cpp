@@ -1,0 +1,19 @@
+// Fig. 10: recovery time after the fail-stop of one (random) controller.
+// Paper shape: O(D)-ish medians of a few seconds, growing mildly with
+// network size.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 10 — recovery after one controller fail-stop",
+                      "stale manager/rule cleanup drives the recovery");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto s = bench::recovery_sample(
+        t.name, 3, [](sim::Experiment& exp) {
+          auto cp = exp.control_plane();
+          return faults::kill_random_controller(cp, exp.fault_rng()) != kNoNode;
+        });
+    bench::print_violin_row(t.name, s);
+  }
+  return 0;
+}

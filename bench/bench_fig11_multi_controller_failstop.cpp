@@ -1,0 +1,26 @@
+// Fig. 11: recovery time after 1..6 simultaneous controller fail-stops on
+// Telstra/AT&T/EBONE running 7 controllers. Paper observation: the number
+// of failed controllers does not correlate with the recovery time.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 11 — recovery after k controller fail-stops",
+                      "T1..T6, A1..A6, E1..E6 of the paper");
+  const int runs = 10;
+  for (const char* net : {"Telstra", "ATT", "EBONE"}) {
+    for (int kills : {1, 2, 3, 4, 5, 6}) {
+      const auto s = bench::recovery_sample(
+          net, 7,
+          [kills](sim::Experiment& exp) {
+            auto cp = exp.control_plane();
+            return static_cast<int>(
+                       faults::kill_random_controllers(cp, exp.fault_rng(), kills)
+                           .size()) == kills;
+          },
+          runs);
+      bench::print_violin_row(std::string(1, net[0]) + std::to_string(kills), s);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 12: recovery time after one permanent switch failure (chosen so the
+// remaining network stays connected). Paper shape: O(D) medians with large
+// variance (the victim is random).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 12 — recovery after a switch fail-stop",
+                      "longest recoveries grow with the network diameter");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto s = bench::recovery_sample(
+        t.name, 3, [](sim::Experiment& exp) {
+          auto cp = exp.control_plane();
+          return faults::kill_random_switch(cp, exp.fault_rng()) != kNoNode;
+        });
+    bench::print_violin_row(t.name, s);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 13: recovery time after one permanent link failure.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 13 — recovery after a permanent link failure",
+                      "O(D) recovery via topology re-discovery + rule refresh");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto s = bench::recovery_sample(
+        t.name, 3, [](sim::Experiment& exp) {
+          auto cp = exp.control_plane();
+          return faults::fail_random_link(cp, exp.fault_rng()).first != kNoNode;
+        });
+    bench::print_violin_row(t.name, s);
+  }
+  return 0;
+}

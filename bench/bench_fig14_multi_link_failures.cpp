@@ -1,0 +1,26 @@
+// Fig. 14: recovery time after 2/4/6 simultaneous permanent link failures.
+// Paper observation: the number of simultaneous failures plays no
+// significant role in the recovery time.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 14 — recovery after multiple link failures",
+                      "B2..E6 columns of the paper");
+  const int runs = 10;
+  for (const auto& t : topo::paper_topologies()) {
+    for (int count : {2, 4, 6}) {
+      const auto s = bench::recovery_sample(
+          t.name, 3,
+          [count](sim::Experiment& exp) {
+            auto cp = exp.control_plane();
+            return !faults::fail_random_links(cp, exp.fault_rng(), count)
+                        .empty();
+          },
+          runs);
+      bench::print_violin_row(std::string(1, t.name[0]) + std::to_string(count),
+                              s);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fig. 15: TCP throughput over 30 s with a mid-path link failure at the
+// 10th second, *with* recovery (consistent updates with tags). Paper
+// shape: a steady plateau (~525 Mbit/s), one valley at the failure
+// (~480-510 on their testbed), then a slightly lower post-failover plateau.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 15 — throughput with recovery (Mbit/s per second)",
+                      "single link failure at t=10s; tag-based updates");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto r = bench::throughput_run(t.name, /*with_recovery=*/true);
+    if (!r.ok) {
+      std::printf("%-14s (experiment did not converge)\n", t.name.c_str());
+      continue;
+    }
+    bench::print_series(t.name + " (D=" + std::to_string(t.expected_diameter) + ")",
+                        r.mbits);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 16: TCP throughput with the same failure but *without* recovery —
+// controllers are frozen at the failure instant, so only the pre-installed
+// backup paths carry traffic afterwards. Paper observation: the series is
+// nearly identical to Fig. 15 (correlation 0.92-0.96).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header(
+      "Fig. 16 — throughput without recovery (Mbit/s per second)",
+      "backup paths only after the failure at t=10s");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto r = bench::throughput_run(t.name, /*with_recovery=*/false);
+    if (!r.ok) {
+      std::printf("%-14s (experiment did not converge)\n", t.name.c_str());
+      continue;
+    }
+    bench::print_series(t.name + " (D=" + std::to_string(t.expected_diameter) + ")",
+                        r.mbits);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 17: Pearson correlation between the with-recovery (Fig. 15) and
+// no-recovery (Fig. 16) throughput series. Paper values: 0.92-0.96.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 17 — correlation of Fig. 15 vs Fig. 16 series",
+                      "paper reports 0.92-0.96 per network");
+  std::printf("%-10s %12s\n", "Network", "Correlation");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto a = bench::throughput_run(t.name, true);
+    const auto b = bench::throughput_run(t.name, false);
+    if (!a.ok || !b.ok) {
+      std::printf("%-10s %12s\n", t.name.c_str(), "n/a");
+      continue;
+    }
+    std::printf("%-10s %12.2f\n", t.name.c_str(), pearson(a.mbits, b.mbits));
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 18: percentage of retransmitted packets per second around the link
+// failure. Paper shape: near-zero everywhere, one spike right after the
+// failure (10-15% on their testbed) that de-escalates within a second.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 18 — retransmission percentage per second",
+                      "spike at the failure second, then back to ~0");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto r = bench::throughput_run(t.name, true);
+    if (!r.ok) continue;
+    bench::print_series(t.name, r.retx_pct, 1);
+  }
+  return 0;
+}

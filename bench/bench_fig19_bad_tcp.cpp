@@ -1,0 +1,16 @@
+// Fig. 19: percentage of "BAD TCP" flags per second (retransmissions +
+// duplicate acks + spurious retransmissions, Wireshark-style). Paper
+// shape: one spike right after the failure, then back to near zero.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 19 — BAD TCP percentage per second",
+                      "retx + dup-acks + spurious, spiking at the failure");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto r = bench::throughput_run(t.name, true);
+    if (!r.ok) continue;
+    bench::print_series(t.name, r.bad_pct, 1);
+  }
+  return 0;
+}

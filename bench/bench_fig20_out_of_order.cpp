@@ -1,0 +1,15 @@
+// Fig. 20: percentage of out-of-order packets per second. Paper shape: a
+// small spike (<= ~3%) at the failure second as traffic shifts paths.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Fig. 20 — out-of-order percentage per second",
+                      "small spike at the failure second");
+  for (const auto& t : topo::paper_topologies()) {
+    const auto r = bench::throughput_run(t.name, true);
+    if (!r.ok) continue;
+    bench::print_series(t.name, r.ooo_pct, 1);
+  }
+  return 0;
+}

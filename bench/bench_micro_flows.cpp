@@ -1,0 +1,77 @@
+// Microbenchmarks (google-benchmark): myRules() compilation cost and
+// related graph machinery, per evaluation topology.
+#include <benchmark/benchmark.h>
+
+#include "flows/my_rules.hpp"
+#include "topo/topologies.hpp"
+
+namespace {
+
+using namespace ren;
+
+struct Prepared {
+  flows::TopoView view;
+  std::map<NodeId, bool> transit;
+  NodeId owner;
+};
+
+Prepared prepare(const std::string& name) {
+  Prepared p;
+  const auto t = topo::by_name(name);
+  p.owner = t.switch_graph.n();
+  for (int u = 0; u < t.switch_graph.n(); ++u) {
+    p.transit[u] = true;
+    for (int v : t.switch_graph.neighbors(u)) p.view.add_sym_edge(u, v);
+  }
+  p.view.add_sym_edge(p.owner, 0);
+  p.view.add_sym_edge(p.owner, t.switch_graph.n() / 2);
+  p.view.add_sym_edge(p.owner, t.switch_graph.n() - 1);
+  p.transit[p.owner] = false;
+  return p;
+}
+
+void BM_CompileFlows(benchmark::State& state, const std::string& name) {
+  const auto p = prepare(name);
+  flows::RuleCompiler compiler({2});
+  for (auto _ : state) {
+    auto flows = compiler.compile(p.view, p.owner, p.transit);
+    benchmark::DoNotOptimize(flows);
+  }
+}
+BENCHMARK_CAPTURE(BM_CompileFlows, B4, std::string("B4"));
+BENCHMARK_CAPTURE(BM_CompileFlows, Clos, std::string("Clos"));
+BENCHMARK_CAPTURE(BM_CompileFlows, Telstra, std::string("Telstra"));
+BENCHMARK_CAPTURE(BM_CompileFlows, ATT, std::string("ATT"));
+BENCHMARK_CAPTURE(BM_CompileFlows, EBONE, std::string("EBONE"));
+
+void BM_CompileCachedHit(benchmark::State& state) {
+  const auto p = prepare("EBONE");
+  flows::RuleCompiler compiler({2});
+  (void)compiler.compile_cached(p.view, p.owner, p.transit);
+  for (auto _ : state) {
+    auto flows = compiler.compile_cached(p.view, p.owner, p.transit);
+    benchmark::DoNotOptimize(flows);
+  }
+}
+BENCHMARK(BM_CompileCachedHit);
+
+void BM_ViewFingerprint(benchmark::State& state) {
+  const auto p = prepare("EBONE");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.view.fingerprint());
+  }
+}
+BENCHMARK(BM_ViewFingerprint);
+
+void BM_DisjointPaths(benchmark::State& state) {
+  const auto p = prepare("EBONE");
+  for (auto _ : state) {
+    auto paths = flows::disjoint_view_paths(p.view, p.owner, 100, 3, p.transit);
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_DisjointPaths);
+
+}  // namespace
+
+BENCHMARK_MAIN();

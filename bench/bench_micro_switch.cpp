@@ -1,0 +1,91 @@
+// Microbenchmarks (google-benchmark): abstract-switch rule table
+// operations — install, lookup (cold/warm), and the forwarding fast path.
+#include <benchmark/benchmark.h>
+
+#include "flows/my_rules.hpp"
+#include "switchd/rule_table.hpp"
+#include "topo/topologies.hpp"
+
+namespace {
+
+using namespace ren;
+
+/// A realistic per-switch rule list: EBONE-sized compilation, switch 0.
+proto::RuleListPtr realistic_rules(NodeId owner) {
+  const auto t = topo::make_ebone();
+  flows::TopoView view;
+  std::map<NodeId, bool> transit;
+  for (int u = 0; u < t.switch_graph.n(); ++u) {
+    transit[u] = true;
+    for (int v : t.switch_graph.neighbors(u)) view.add_sym_edge(u, v);
+  }
+  view.add_sym_edge(owner, 0);
+  view.add_sym_edge(owner, 100);
+  transit[owner] = false;
+  flows::RuleCompiler compiler({2});
+  const auto flows = compiler.compile(view, owner, transit);
+  auto it = flows->per_switch.find(0);
+  return it == flows->per_switch.end()
+             ? std::make_shared<const proto::RuleList>()
+             : it->second;
+}
+
+void BM_UpdateRules(benchmark::State& state) {
+  const NodeId owner = 208;
+  const auto rules = realistic_rules(owner);
+  switchd::RuleTable table({1u << 20});
+  std::uint32_t epoch = 0;
+  for (auto _ : state) {
+    table.new_round(owner, proto::Tag{owner, ++epoch}, 3);
+    table.update_rules(owner, rules, proto::Tag{owner, epoch});
+  }
+  state.counters["rules"] = static_cast<double>(rules->size());
+}
+BENCHMARK(BM_UpdateRules);
+
+void BM_LookupCold(benchmark::State& state) {
+  const NodeId owner = 208;
+  const auto rules = realistic_rules(owner);
+  switchd::RuleTable table({1u << 20});
+  table.new_round(owner, proto::Tag{owner, 1}, 3);
+  table.update_rules(owner, rules, proto::Tag{owner, 1});
+  NodeId dst = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Invalidate the lookup cache by touching the table.
+    table.new_round(owner, proto::Tag{owner, 1}, 3);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(table.candidates(owner, dst));
+    dst = (dst + 1) % 208;
+  }
+}
+BENCHMARK(BM_LookupCold);
+
+void BM_LookupWarm(benchmark::State& state) {
+  const NodeId owner = 208;
+  const auto rules = realistic_rules(owner);
+  switchd::RuleTable table({1u << 20});
+  table.new_round(owner, proto::Tag{owner, 1}, 3);
+  table.update_rules(owner, rules, proto::Tag{owner, 1});
+  (void)table.candidates(owner, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.candidates(owner, 42));
+  }
+}
+BENCHMARK(BM_LookupWarm);
+
+void BM_OwnersSummary(benchmark::State& state) {
+  switchd::RuleTable table({1u << 20});
+  for (NodeId c = 100; c < 107; ++c) {
+    table.new_round(c, proto::Tag{c, 1}, 3);
+    table.update_rules(c, realistic_rules(c), proto::Tag{c, 1});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.owners_summary());
+  }
+}
+BENCHMARK(BM_OwnersSummary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

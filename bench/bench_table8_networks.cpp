@@ -1,0 +1,17 @@
+// Table/Fig. 8: the evaluation networks — node counts and diameters.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ren;
+  bench::print_header("Table 8 — evaluation networks",
+                      "paper Fig. 8: B4 12/5, Clos 20/4, Telstra 57/8, "
+                      "AT&T 172/10, EBONE 208/11");
+  std::printf("%-10s %8s %8s %8s %10s\n", "Network", "Nodes", "Links",
+              "Diameter", "EdgeConn");
+  for (const auto& t : topo::paper_topologies()) {
+    std::printf("%-10s %8d %8zu %8d %10d\n", t.name.c_str(),
+                t.switch_graph.n(), t.switch_graph.edge_count(),
+                t.switch_graph.diameter(), t.switch_graph.edge_connectivity());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// In-band bootstrap, narrated: shows the ring-by-ring discovery that makes
+// in-band control tricky — a controller can only talk to switches at
+// distance k after installing rules on the switches at distance k-1.
+//
+//   $ ./examples/inband_bootstrap
+#include <cstdio>
+
+#include "renaissance.hpp"
+
+int main() {
+  using namespace ren;
+
+  sim::ExperimentConfig cfg;
+  cfg.topology = "Telstra";  // 57 switches, diameter 8
+  cfg.controllers = 1;
+  cfg.kappa = 1;
+  cfg.seed = 7;
+  sim::Experiment exp(cfg);
+
+  auto& c = exp.controller(0);
+  std::printf("single controller %d on Telstra (57 switches, diameter 8)\n",
+              c.id());
+  std::printf("%8s %10s %12s %10s %12s\n", "t(s)", "view", "replyDB",
+              "rounds", "rules total");
+
+  // Sample the controller's knowledge as it grows outward.
+  std::size_t last_view = 0;
+  for (int step = 0; step < 200; ++step) {
+    exp.sim().run_until(exp.sim().now() + msec(250));
+    const std::size_t view = c.fused_view().node_count();
+    if (view != last_view || step % 8 == 0) {
+      std::size_t rules = 0;
+      for (auto* s : exp.switches()) rules += s->rule_table().total_rules();
+      std::printf("%8.2f %10zu %12zu %10llu %12zu\n",
+                  to_seconds(exp.sim().now()), view, c.reply_db().size(),
+                  static_cast<unsigned long long>(c.stats().rounds_started),
+                  rules);
+      last_view = view;
+    }
+    const auto st = exp.monitor().check();
+    if (st.legitimate) {
+      std::printf("legitimate at t=%.2fs: the controller reaches every "
+                  "switch in-band and every switch is managed\n",
+                  to_seconds(exp.sim().now()));
+      break;
+    }
+  }
+
+  // Show a sample flow: the installed first hops + the path a packet takes.
+  const auto flows = c.current_flows();
+  NodeId far = 0;
+  std::size_t best = 0;
+  for (const auto& [dst, hops] : flows->first_hops) {
+    (void)hops;
+    if (static_cast<std::size_t>(dst) > best && dst < 57) {
+      best = static_cast<std::size_t>(dst);
+      far = dst;
+    }
+  }
+  std::printf("first hops toward switch %d:", far);
+  for (NodeId h : flows->first_hops.at(far)) std::printf(" %d", h);
+  std::printf("  (primary path first, then kappa backups)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Self-stabilization in action: an adversary corrupts the entire system
+// state — switch rules, manager sets, controller databases, tags,
+// transport labels, failure detectors — and Renaissance converges back to
+// a legitimate state (the paper's Theorem 2, which the authors' own
+// evaluation could not exercise empirically; see Section 6.1).
+//
+//   $ ./examples/transient_recovery
+#include <cstdio>
+
+#include "renaissance.hpp"
+
+int main() {
+  using namespace ren;
+
+  sim::ExperimentConfig cfg;
+  cfg.topology = "Clos";
+  cfg.controllers = 3;
+  cfg.kappa = 1;
+  cfg.seed = 2026;
+  sim::Experiment exp(cfg);
+
+  const auto boot = exp.run_until_legitimate(sec(120));
+  std::printf("bootstrapped in %.2fs\n", boot.seconds);
+
+  for (int round = 1; round <= 3; ++round) {
+    // Corrupt EVERYTHING.
+    auto cp = exp.control_plane();
+    faults::corrupt_all_state(cp, exp.fault_rng());
+    const auto st = exp.monitor().check();
+    std::printf("round %d: corrupted all state -> monitor says: %s\n", round,
+                st.legitimate ? "(still legitimate?!)" : st.reason.c_str());
+
+    const auto rec = exp.run_until_legitimate(sec(120));
+    if (!rec.converged) {
+      std::printf("round %d: FAILED to recover: %s\n", round,
+                  rec.last_reason.c_str());
+      return 1;
+    }
+    std::uint64_t resets = 0, deletions = 0;
+    for (std::size_t k = 0; k < exp.controller_count(); ++k) {
+      resets += exp.controller(k).c_resets();
+      deletions += exp.controller(k).stats().deletions_sent;
+    }
+    std::printf(
+        "round %d: re-stabilized in %.2fs (C-resets so far: %llu, "
+        "deletions sent so far: %llu)\n",
+        round, rec.seconds, static_cast<unsigned long long>(resets),
+        static_cast<unsigned long long>(deletions));
+  }
+  std::printf("every corruption round converged — self-stabilization holds\n");
+  return 0;
+}

@@ -1,0 +1,423 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ren::core {
+
+Controller::Controller(NodeId id, Config config)
+    : net::Node(id, NodeKind::Controller),
+      config_(config),
+      tags_(id),
+      db_(ReplyDb::Config{config.max_replies, config.memory_adaptive}),
+      detector_(id, detect::ThetaDetector::Config{config.theta}),
+      endpoint_(
+          id, transport::Config{},
+          transport::Endpoint::Hooks{
+              [this](NodeId peer, proto::Frame f) {
+                route_frame(peer, std::move(f));
+              },
+              [this](NodeId peer, proto::MessagePtr m) {
+                if (const auto* reply = std::get_if<proto::QueryReply>(&*m)) {
+                  on_reply(*reply);
+                } else if (const auto* batch =
+                               std::get_if<proto::CommandBatch>(&*m)) {
+                  on_peer_batch(peer, *batch);
+                }
+              },
+              [this](NodeId) {
+                ++sim_->counters().ctrl_messages_sent[static_cast<std::size_t>(
+                    this->id())];
+              }}),
+      compiler_(flows::RuleCompiler::Config{config.kappa}) {
+  curr_tag_ = tags_.next();
+  prev_tag_ = proto::kNullTag;
+}
+
+void Controller::start() {
+  const Time it_off = static_cast<Time>(
+      sim_->rng().next_below(static_cast<std::uint64_t>(config_.task_delay)));
+  const Time det_off = static_cast<Time>(sim_->rng().next_below(
+      static_cast<std::uint64_t>(config_.detect_interval)));
+  sim_->schedule_for(id(), it_off, [this] { iterate(); });
+  sim_->schedule_for(id(), det_off, [this] { detect_tick(); });
+}
+
+void Controller::detect_tick() {
+  std::vector<NodeId> ports;
+  for (const auto& e : sim_->network().adjacency(id())) {
+    ports.push_back(e.neighbor);
+  }
+  detector_.set_candidates(ports);
+  detector_.tick([this](NodeId nbr, proto::Probe p) {
+    sim_->send(id(), nbr, net::make_packet(id(), nbr, proto::Payload{p}));
+  });
+  sim_->schedule_for(id(), config_.detect_interval, [this] { detect_tick(); });
+}
+
+// --- View construction -----------------------------------------------------
+
+Controller::ResView Controller::build_res(proto::Tag tag) const {
+  ResView res;
+  // The synthetic self record <i, Nc(i), {}, {}> (Algorithm 2, line 3).
+  res.view.add_node(id());
+  res.transit[id()] = false;
+  for (NodeId n : detector_.live()) res.view.add_edge(id(), n);
+  for (const auto& [rid, m] : db_.entries()) {
+    if (!(m.tag_for_querier == tag)) continue;
+    res.view.add_node(m.id);
+    for (NodeId n : m.nc) res.view.add_edge(m.id, n);
+    res.transit[m.id] = !m.from_controller;
+    res.reply_ids.insert(m.id);
+  }
+  return res;
+}
+
+Controller::ResView Controller::build_fusion() const {
+  ResView res;
+  res.view.add_node(id());
+  res.transit[id()] = false;
+  for (NodeId n : detector_.live()) res.view.add_edge(id(), n);
+  // res(currTag), then res(prevTag) entries not shadowed by a curr reply.
+  for (const auto& [rid, m] : db_.entries()) {
+    const bool is_curr = m.tag_for_querier == curr_tag_;
+    const bool is_prev = m.tag_for_querier == prev_tag_;
+    if (!is_curr && !is_prev) continue;
+    if (is_prev && !is_curr) {
+      const proto::QueryReply* other = db_.find(m.id);
+      if (other != nullptr && other->tag_for_querier == curr_tag_) continue;
+    }
+    res.view.add_node(m.id);
+    for (NodeId n : m.nc) res.view.add_edge(m.id, n);
+    res.transit[m.id] = !m.from_controller;
+    res.reply_ids.insert(m.id);
+  }
+  return res;
+}
+
+void Controller::prune_reply_db() {
+  const ResView res_curr = build_res(curr_tag_);
+  const ResView res_prev = build_res(prev_tag_);
+  const auto curr_reach = res_curr.view.reachable_set(id());
+  const auto prev_reach = res_prev.view.reachable_set(id());
+  auto in = [](const std::vector<NodeId>& v, NodeId x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  db_.erase_if([&](const proto::QueryReply& m) {
+    if (m.id == id()) return true;  // self is synthesized, never stored
+    if (m.tag_for_querier == curr_tag_) return !in(curr_reach, m.id);
+    if (m.tag_for_querier == prev_tag_) return !in(prev_reach, m.id);
+    return true;  // stale tag
+  });
+}
+
+bool Controller::round_complete() const {
+  // Line 10: every node reachable in G(res(currTag)) has replied with
+  // currTag (the self record stands in for p_i's own reply).
+  const ResView res = build_res(curr_tag_);
+  for (NodeId n : res.view.reachable_set(id())) {
+    if (n == id()) continue;
+    if (res.reply_ids.count(n) == 0) return false;
+  }
+  return true;
+}
+
+// --- The do-forever body -----------------------------------------------------
+
+void Controller::iterate() {
+  if (!frozen_) {
+    ++stats_.iterations;
+    ++sim_->counters().iterations[static_cast<std::size_t>(id())];
+
+    prune_reply_db();  // line 8
+
+    bool new_round = false;  // lines 9-12
+    if (round_complete()) {
+      new_round = true;
+      ++stats_.rounds_started;
+      prev_tag_ = curr_tag_;
+      curr_tag_ = tags_.next();
+      db_.erase_if([this](const proto::QueryReply& m) {
+        return m.tag_for_querier == curr_tag_;
+      });
+    }
+
+    // Line 13: reference tag selection.
+    ResView res_prev = build_res(prev_tag_);
+    ResView res_curr = build_res(curr_tag_);
+    ResView fusion = build_fusion();
+    const bool topo_stable = fusion.view == res_prev.view;
+    const ResView& refer = topo_stable ? res_prev : res_curr;
+    fusion_view_ = fusion.view;
+
+    // myRules() for the reference view; also drives the controller's own
+    // first-hop routing.
+    current_flows_ = compiler_.compile_cached(refer.view, id(), refer.transit);
+    rebuild_merged_rules(refer);
+
+    // Lines 14-18: per-switch command preparation.
+    std::map<NodeId, std::vector<proto::Command>> cmds;
+    for (NodeId j : refer.reply_ids) {
+      const proto::QueryReply* m = db_.find(j);
+      if (m == nullptr || m->from_controller) continue;
+      prepare_switch_commands(*m, new_round, res_prev, cmds[j]);
+    }
+
+    // Line 19: aggregated batch + query to every reachable node.
+    std::set<NodeId> peers;
+    for (NodeId n : fusion.view.reachable_set(id())) {
+      if (n != id()) peers.insert(n);
+    }
+
+    // Modify-by-neighbor (Section 2.1.1): a discovered switch that has not
+    // replied yet — or whose stale rules blackhole its replies — still gets
+    // a manager entry and a flow back to this controller, installed through
+    // its neighbors. Without this, a switch whose pre-change reverse rules
+    // point into a failed region could never report in. Controllers ignore
+    // these commands, so optimistically treating unknown nodes as switches
+    // is safe.
+    for (NodeId peer : peers) {
+      if (cmds.count(peer) != 0) continue;
+      auto t = fusion.transit.find(peer);
+      if (t != fusion.transit.end() && !t->second) continue;  // controller
+      auto& c = cmds[peer];
+      c.push_back(proto::AddMngrCmd{id()});
+      c.push_back(proto::UpdateRuleCmd{rules_for_switch(peer), curr_tag_});
+    }
+    for (NodeId peer : peers) {
+      proto::CommandBatch batch;
+      batch.from = id();
+      batch.commands.push_back(
+          proto::NewRoundCmd{curr_tag_, config_.rule_retention});
+      if (auto it = cmds.find(peer); it != cmds.end()) {
+        for (auto& c : it->second) batch.commands.push_back(std::move(c));
+      }
+      batch.commands.push_back(proto::QueryCmd{curr_tag_});
+      sim_->counters().ctrl_commands_sent[static_cast<std::size_t>(id())] +=
+          batch.commands.size();
+      endpoint_.submit(peer, proto::Message{std::move(batch)});
+    }
+    // Keep transport state bounded: sessions only for current peers and
+    // physically attached neighbors.
+    std::set<NodeId> keep = peers;
+    for (const auto& e : sim_->network().adjacency(id())) keep.insert(e.neighbor);
+    endpoint_.retain_only(keep);
+  }
+  endpoint_.tick();  // retransmit unacknowledged frames
+  sim_->schedule_for(id(), config_.task_delay, [this] { iterate(); });
+}
+
+void Controller::prepare_switch_commands(const proto::QueryReply& m,
+                                         bool new_round,
+                                         const ResView& res_prev,
+                                         std::vector<proto::Command>& out) {
+  // Owners that have rules (the per-controller meta rule counts, as in the
+  // paper where it is installed by 'newRound' before any update).
+  std::set<NodeId> owners;
+  for (const auto& s : m.rule_owners) owners.insert(s.cid);
+
+  // Line 15: M = managers with rules, reachable (on new rounds), plus self.
+  std::set<NodeId> managers(m.managers.begin(), m.managers.end());
+  std::set<NodeId> M;
+  for (NodeId k : managers) {
+    if (owners.count(k) == 0) continue;
+    if (new_round && !res_prev.view.reachable(id(), k)) continue;
+    M.insert(k);
+  }
+  M.insert(id());
+
+  // Lines 16-17: remove stale managers and stale rules. We evict a stale
+  // controller *atomically* — both its manager entry and its rules in the
+  // same batch, even when the snapshot showed only one half — so that the
+  // switch never ends up with a half-deleted entry. (With the literal
+  // one-half deletions of the pseudo-code, two controllers with fixed timer
+  // phases can drive each other into a manager-without-rules /
+  // rules-without-manager flip-flop forever; the commands are idempotent,
+  // so the combined eviction is a faithful strengthening. See DESIGN.md.)
+  if (config_.memory_adaptive) {
+    std::set<NodeId> victims;
+    for (NodeId k : managers) {
+      if (M.count(k) == 0) victims.insert(k);
+    }
+    for (NodeId k : owners) {
+      if (M.count(k) == 0 && k != id()) victims.insert(k);
+    }
+    for (NodeId k : victims) {
+      REN_LOG(Debug,
+              "t=%.3fs ctrl %d evicts %d @sw %d (mngr=%d owner=%d "
+              "newround=%d reach=%d)",
+              to_seconds(sim_->now()), id(), k, m.id, (int)managers.count(k),
+              (int)owners.count(k), (int)new_round,
+              (int)res_prev.view.reachable(id(), k));
+      out.push_back(proto::DelMngrCmd{k});
+      out.push_back(proto::DelAllRulesCmd{k});
+      note_deletion(k);
+    }
+  }
+  out.push_back(proto::AddMngrCmd{id()});
+
+  // Line 18: refresh own rules with the current round's tag.
+  out.push_back(proto::UpdateRuleCmd{rules_for_switch(m.id), curr_tag_});
+}
+
+void Controller::note_deletion(NodeId victim) {
+  ++stats_.deletions_sent;
+  if (liveness_oracle_ && liveness_oracle_(victim)) {
+    ++stats_.illegitimate_deletions;
+  }
+}
+
+void Controller::rebuild_merged_rules(const ResView& refer) {
+  if (current_flows_ == nullptr) return;
+  const std::uint64_t fp = current_flows_->view_fingerprint;
+  if (merged_fingerprint_ == fp && merged_revision_ == data_flow_revision_)
+    return;
+  merged_fingerprint_ = fp;
+  merged_revision_ = data_flow_revision_;
+  merged_rules_.clear();
+  if (data_flows_.empty()) return;  // rules_for_switch falls through
+
+  // Compile each registered data flow against the same reference view and
+  // merge per switch with the control rules.
+  std::map<NodeId, proto::RuleList> merged;
+  for (const auto& [sid, list] : current_flows_->per_switch) {
+    merged[sid] = *list;
+  }
+  for (const auto& spec : data_flows_) {
+    flows::DataFlow df = compiler_.compile_data_flow(
+        refer.view, id(), spec.host_a, spec.attach_a, spec.host_b,
+        spec.attach_b, refer.transit);
+    for (const auto& [sid, list] : df.per_switch) {
+      auto& dst = merged[sid];
+      dst.insert(dst.end(), list->begin(), list->end());
+    }
+  }
+  for (auto& [sid, list] : merged) {
+    std::sort(list.begin(), list.end(), flows::rule_order);
+    merged_rules_[sid] = std::make_shared<const proto::RuleList>(std::move(list));
+  }
+}
+
+proto::RuleListPtr Controller::rules_for_switch(NodeId j) {
+  if (!data_flows_.empty()) {
+    auto it = merged_rules_.find(j);
+    if (it != merged_rules_.end()) return it->second;
+  }
+  if (current_flows_ != nullptr) {
+    auto it = current_flows_->per_switch.find(j);
+    if (it != current_flows_->per_switch.end()) return it->second;
+  }
+  static const proto::RuleListPtr kEmpty =
+      std::make_shared<const proto::RuleList>();
+  return kEmpty;
+}
+
+void Controller::register_data_flow(const DataFlowSpec& spec) {
+  data_flows_.push_back(spec);
+  ++data_flow_revision_;
+}
+
+// --- Message handling --------------------------------------------------------
+
+void Controller::on_reply(proto::QueryReply reply) {
+  // Lines 20-22: capacity check (C-reset) before the tag check.
+  db_.make_room(reply.id);
+  if (reply.tag_for_querier == curr_tag_) {
+    ++stats_.replies_accepted;
+    db_.store(std::move(reply));
+  } else {
+    ++stats_.replies_discarded_tag;
+  }
+}
+
+void Controller::on_peer_batch(NodeId from, const proto::CommandBatch& batch) {
+  // Line 23: controllers answer queries with their local neighborhood and
+  // the echoed tag; all other commands are ignored.
+  for (const auto& cmd : batch.commands) {
+    if (const auto* q = std::get_if<proto::QueryCmd>(&cmd)) {
+      proto::QueryReply reply;
+      reply.id = id();
+      reply.nc = detector_.live();
+      reply.from_controller = true;
+      reply.tag_for_querier = q->tag;
+      endpoint_.submit(from, proto::Message{std::move(reply)});
+    }
+  }
+}
+
+void Controller::route_frame(NodeId peer, proto::Frame frame) {
+  net::Packet pkt =
+      net::make_packet(id(), peer, proto::Payload{std::move(frame)});
+  auto& counters = sim_->counters();
+  counters.control_bytes_sent += pkt.bytes;
+  counters.max_control_message_bytes =
+      std::max<std::uint64_t>(counters.max_control_message_bytes, pkt.bytes);
+
+  // 1. Adjacent peer: direct hand-over.
+  if (sim_->network().link_operational(id(), peer)) {
+    sim_->send(id(), peer, pkt);
+    return;
+  }
+  // 2. First hops from the compiled flows (fast-failover order).
+  if (current_flows_ != nullptr) {
+    auto it = current_flows_->first_hops.find(peer);
+    if (it != current_flows_->first_hops.end()) {
+      for (NodeId h : it->second) {
+        if (sim_->network().link_operational(id(), h)) {
+          sim_->send(id(), h, pkt);
+          return;
+        }
+      }
+    }
+  }
+  // 3. Reverse-path hint.
+  auto it = last_port_.find(peer);
+  if (it != last_port_.end() &&
+      sim_->network().link_operational(id(), it->second)) {
+    sim_->send(id(), it->second, pkt);
+    return;
+  }
+  ++sim_->counters().drops_no_rule;
+}
+
+void Controller::on_packet(NodeId from_neighbor, const net::Packet& packet) {
+  if (packet.dst != id()) {
+    // Controllers never relay traffic (paper: relay nodes are switches).
+    ++sim_->counters().drops_no_rule;
+    return;
+  }
+  if (const auto* frame = std::get_if<proto::Frame>(&*packet.payload)) {
+    last_port_[packet.src] = from_neighbor;
+    endpoint_.on_frame(packet.src, *frame);
+  } else if (const auto* probe = std::get_if<proto::Probe>(&*packet.payload)) {
+    sim_->send(id(), from_neighbor,
+               net::make_packet(id(), from_neighbor,
+                                proto::Payload{proto::ProbeReply{probe->round}}));
+  } else if (std::get_if<proto::ProbeReply>(&*packet.payload) != nullptr) {
+    detector_.on_probe_reply(from_neighbor);
+  }
+}
+
+void Controller::corrupt_state(Rng& rng, NodeId node_space) {
+  db_.corrupt(rng, node_space);
+  if (rng.chance(0.5)) tags_.corrupt(rng);
+  if (rng.chance(0.5)) {
+    curr_tag_ = proto::Tag{
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(node_space))),
+        static_cast<std::uint32_t>(rng.next_below(proto::kTagDomain))};
+  }
+  if (rng.chance(0.5)) {
+    prev_tag_ = proto::Tag{
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(node_space))),
+        static_cast<std::uint32_t>(rng.next_below(proto::kTagDomain))};
+  }
+  endpoint_.corrupt(rng);
+  detector_.corrupt(rng);
+  if (rng.chance(0.5)) current_flows_.reset();
+  if (rng.chance(0.5)) last_port_.clear();
+  merged_fingerprint_ = 0;
+  merged_revision_ = ~0ULL;
+}
+
+}  // namespace ren::core

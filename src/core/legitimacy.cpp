@@ -1,0 +1,260 @@
+#include "core/legitimacy.hpp"
+
+#include <algorithm>
+
+#include "flows/resilient_paths.hpp"
+
+namespace ren::core {
+
+LegitimacyMonitor::LegitimacyMonitor(
+    net::Simulator& sim, std::vector<Controller*> controllers,
+    std::vector<switchd::AbstractSwitch*> switches, Config config)
+    : sim_(sim),
+      controllers_(std::move(controllers)),
+      switches_(std::move(switches)),
+      config_(config),
+      compiler_(flows::RuleCompiler::Config{config.kappa}) {}
+
+std::vector<Controller*> LegitimacyMonitor::live_controllers() const {
+  std::vector<Controller*> out;
+  for (Controller* c : controllers_) {
+    if (c->alive()) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<switchd::AbstractSwitch*> LegitimacyMonitor::live_switches() const {
+  std::vector<switchd::AbstractSwitch*> out;
+  for (auto* s : switches_) {
+    if (s->alive()) out.push_back(s);
+  }
+  return out;
+}
+
+flows::TopoView LegitimacyMonitor::true_view() const {
+  flows::TopoView truth;
+  std::vector<NodeId> nodes;
+  for (const auto* c : controllers_) {
+    if (c->alive()) nodes.push_back(c->id());
+  }
+  for (const auto* s : switches_) {
+    if (s->alive()) nodes.push_back(s->id());
+  }
+  std::sort(nodes.begin(), nodes.end());
+  for (NodeId n : nodes) truth.add_node(n);
+  const net::Network& net = sim_.network();
+  for (NodeId n : nodes) {
+    for (const auto& e : net.adjacency(n)) {
+      if (net.link(e.link).state() == net::LinkState::PermanentDown) continue;
+      if (!std::binary_search(nodes.begin(), nodes.end(), e.neighbor)) continue;
+      truth.add_edge(n, e.neighbor);
+    }
+  }
+  return truth;
+}
+
+LegitimacyMonitor::Status LegitimacyMonitor::check() {
+  const auto live = live_controllers();
+  if (live.empty()) return {false, "no live controller"};
+  const flows::TopoView truth = true_view();
+
+  if (Status s = check_views(truth); !s.legitimate) return s;
+  if (Status s = check_managers(); !s.legitimate) return s;
+  if (config_.check_rule_content) {
+    if (Status s = check_rules(truth); !s.legitimate) return s;
+  }
+  if (config_.check_rule_walk) {
+    if (Status s = check_walks(truth); !s.legitimate) return s;
+  }
+  return {true, ""};
+}
+
+LegitimacyMonitor::Status LegitimacyMonitor::check_views(
+    const flows::TopoView& truth) {
+  for (Controller* c : live_controllers()) {
+    if (!(c->fused_view() == truth)) {
+      return {false,
+              "controller " + std::to_string(c->id()) + " view != Gc"};
+    }
+  }
+  return {true, ""};
+}
+
+LegitimacyMonitor::Status LegitimacyMonitor::check_managers() {
+  std::vector<NodeId> expected;
+  for (Controller* c : live_controllers()) expected.push_back(c->id());
+  std::sort(expected.begin(), expected.end());
+  for (auto* s : live_switches()) {
+    std::vector<NodeId> got = s->managers();
+    std::sort(got.begin(), got.end());
+    if (got != expected) {
+      return {false, "switch " + std::to_string(s->id()) +
+                         " managers != live controllers"};
+    }
+  }
+  return {true, ""};
+}
+
+LegitimacyMonitor::Status LegitimacyMonitor::check_rules(
+    const flows::TopoView& truth) {
+  // Reference compilation per live controller, merged with its data flows
+  // exactly like Controller::rebuild_merged_rules does.
+  std::map<NodeId, bool> transit;
+  for (const auto* c : controllers_) {
+    if (c->alive()) transit[c->id()] = false;
+  }
+  for (const auto* s : switches_) {
+    if (s->alive()) transit[s->id()] = true;
+  }
+
+  std::vector<NodeId> live_ids;
+  for (Controller* c : live_controllers()) live_ids.push_back(c->id());
+  std::sort(live_ids.begin(), live_ids.end());
+
+  for (Controller* c : live_controllers()) {
+    const auto expected = compiler_.compile_cached(truth, c->id(), transit);
+    // Merge registered data flows (if any).
+    std::map<NodeId, proto::RuleListPtr> merged;
+    if (!c->data_flows().empty()) {
+      std::map<NodeId, proto::RuleList> building;
+      for (const auto& [sid, list] : expected->per_switch) building[sid] = *list;
+      for (const auto& spec : c->data_flows()) {
+        flows::DataFlow df = compiler_.compile_data_flow(
+            truth, c->id(), spec.host_a, spec.attach_a, spec.host_b,
+            spec.attach_b, transit);
+        for (const auto& [sid, list] : df.per_switch) {
+          auto& dst = building[sid];
+          dst.insert(dst.end(), list->begin(), list->end());
+        }
+      }
+      for (auto& [sid, list] : building) {
+        std::sort(list.begin(), list.end(), flows::rule_order);
+        merged[sid] = std::make_shared<const proto::RuleList>(std::move(list));
+      }
+    }
+    const auto& per_switch = c->data_flows().empty() ? expected->per_switch : merged;
+
+    for (auto* s : live_switches()) {
+      // Rule owners must be exactly the live controllers.
+      std::vector<NodeId> owners = s->rule_table().owners();
+      std::sort(owners.begin(), owners.end());
+      if (owners != live_ids) {
+        return {false, "switch " + std::to_string(s->id()) +
+                           " rule owners != live controllers"};
+      }
+      const proto::RuleListPtr actual = s->rule_table().newest_rules_of(c->id());
+      auto want_it = per_switch.find(s->id());
+      const proto::RuleListPtr want =
+          want_it == per_switch.end() ? nullptr : want_it->second;
+      if (actual == nullptr || want == nullptr) {
+        if ((actual == nullptr || actual->empty()) &&
+            (want == nullptr || want->empty()))
+          continue;
+        return {false, "switch " + std::to_string(s->id()) + " missing rules of " +
+                           std::to_string(c->id())};
+      }
+      const auto key = std::make_pair(s->id(), c->id());
+      auto memo = verified_.find(key);
+      if (memo != verified_.end() && memo->second == actual.get()) continue;
+      if (*actual != *want) {
+        return {false, "switch " + std::to_string(s->id()) +
+                           " stale rules of " + std::to_string(c->id())};
+      }
+      verified_[key] = actual.get();
+    }
+  }
+  return {true, ""};
+}
+
+namespace {
+
+std::uint64_t link_state_hash(const net::Simulator& sim) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const net::Network& net = sim.network();
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    h ^= static_cast<std::uint64_t>(net.link(static_cast<int>(i)).state()) + i;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+LegitimacyMonitor::Status LegitimacyMonitor::check_walks(
+    const flows::TopoView& truth) {
+  const std::uint64_t fp = truth.fingerprint();
+  const std::uint64_t ls = link_state_hash(sim_);
+  if (walk_ok_valid_ && walk_ok_fingerprint_ == fp && walk_ok_linkstate_ == ls) {
+    return {true, ""};
+  }
+
+  std::map<NodeId, switchd::AbstractSwitch*> switch_by_id;
+  for (auto* s : live_switches()) switch_by_id[s->id()] = s;
+
+  auto next_hop = [&](NodeId at, NodeId src,
+                      NodeId dst) -> std::optional<NodeId> {
+    auto it = switch_by_id.find(at);
+    if (it == switch_by_id.end()) return std::nullopt;  // controller/host relay
+    for (const auto& cand : it->second->rule_table().candidates(src, dst)) {
+      if (sim_.network().link_operational(at, cand.fwd)) return cand.fwd;
+    }
+    if (sim_.network().link_operational(at, dst)) return dst;  // adjacency
+    return std::nullopt;
+  };
+  auto link_up = [&](NodeId a, NodeId b) {
+    return sim_.network().link_operational(a, b);
+  };
+  const int ttl = 4 * static_cast<int>(truth.node_count()) + 8;
+
+  for (Controller* c : live_controllers()) {
+    const auto flows_ptr = c->current_flows();
+    if (flows_ptr == nullptr) {
+      return {false, "controller " + std::to_string(c->id()) + " has no flows"};
+    }
+    for (const auto& [node, _] : truth.adj()) {
+      if (node == c->id()) continue;
+      // Forward walk c -> node.
+      std::vector<NodeId> first;
+      if (sim_.network().link_operational(c->id(), node)) {
+        first = {node};
+      } else if (auto it = flows_ptr->first_hops.find(node);
+                 it != flows_ptr->first_hops.end()) {
+        first = it->second;
+      }
+      auto fwd = flows::rule_walk(c->id(), node, first, next_hop, link_up, ttl);
+      if (!fwd.delivered) {
+        return {false, "no path " + std::to_string(c->id()) + " -> " +
+                           std::to_string(node)};
+      }
+      // Reverse walk node -> c.
+      std::vector<NodeId> rfirst;
+      if (sim_.network().link_operational(node, c->id())) {
+        rfirst = {c->id()};
+      } else if (switch_by_id.count(node) != 0) {
+        if (auto nh = next_hop(node, node, c->id())) rfirst = {*nh};
+      } else {
+        // Another controller: use its own compiled first hops.
+        for (Controller* o : live_controllers()) {
+          if (o->id() != node) continue;
+          const auto of = o->current_flows();
+          if (of != nullptr) {
+            if (auto it = of->first_hops.find(c->id());
+                it != of->first_hops.end())
+              rfirst = it->second;
+          }
+        }
+      }
+      auto rev = flows::rule_walk(node, c->id(), rfirst, next_hop, link_up, ttl);
+      if (!rev.delivered) {
+        return {false, "no path " + std::to_string(node) + " -> " +
+                           std::to_string(c->id())};
+      }
+    }
+  }
+  walk_ok_valid_ = true;
+  walk_ok_fingerprint_ = fp;
+  walk_ok_linkstate_ = ls;
+  return {true, ""};
+}
+
+}  // namespace ren::core

@@ -1,0 +1,81 @@
+// Legitimate-state checker (paper Definition 1).
+//
+// A system state is legitimate when, for every live controller p_i and node
+// p_k:
+//  1. p_i's accumulated topology view matches the real connected topology Gc
+//     (replyDB correctness),
+//  2. every switch is managed by exactly the live controllers,
+//  3. the installed rules encode the kappa-fault-resilient flows that
+//     myRules() derives from the real topology (checked as content equality
+//     against a reference compilation, plus an actual rule-walk showing that
+//     every controller can exchange packets with every node),
+//  4. (transport/round-sync legitimacy is implied by 1-3 observably: rounds
+//     keep completing, which the harness exercises by running on).
+//
+// The monitor is a *measurement* device: it reads global simulator truth
+// that no protocol participant has access to, and is used by the harness to
+// timestamp convergence (bootstrap & recovery experiments).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "flows/graph.hpp"
+#include "flows/my_rules.hpp"
+#include "net/simulator.hpp"
+#include "switchd/abstract_switch.hpp"
+
+namespace ren::core {
+
+class LegitimacyMonitor {
+ public:
+  struct Config {
+    int kappa = 2;
+    bool check_rule_content = true;
+    bool check_rule_walk = true;
+  };
+
+  LegitimacyMonitor(net::Simulator& sim, std::vector<Controller*> controllers,
+                    std::vector<switchd::AbstractSwitch*> switches,
+                    Config config);
+
+  struct Status {
+    bool legitimate = false;
+    std::string reason;  ///< first failed condition, empty when legitimate
+  };
+
+  /// Evaluate Definition 1 against the current global state.
+  [[nodiscard]] Status check();
+
+  /// The real control-plane topology (live controllers + switches, links in
+  /// Gc). Hosts are not part of the control plane.
+  [[nodiscard]] flows::TopoView true_view() const;
+
+  [[nodiscard]] std::vector<Controller*> live_controllers() const;
+  [[nodiscard]] std::vector<switchd::AbstractSwitch*> live_switches() const;
+
+ private:
+  [[nodiscard]] Status check_views(const flows::TopoView& truth);
+  [[nodiscard]] Status check_managers();
+  [[nodiscard]] Status check_rules(const flows::TopoView& truth);
+  [[nodiscard]] Status check_walks(const flows::TopoView& truth);
+
+  net::Simulator& sim_;
+  std::vector<Controller*> controllers_;
+  std::vector<switchd::AbstractSwitch*> switches_;
+  Config config_;
+  flows::RuleCompiler compiler_;
+
+  // (switch, cid) -> last rule-list pointer verified as correct; skips
+  // re-verification of unchanged immutable lists.
+  std::map<std::pair<NodeId, NodeId>, const void*> verified_;
+  // Rule-walk memo: walks are deterministic given topology + link states.
+  std::uint64_t walk_ok_fingerprint_ = 0;
+  std::uint64_t walk_ok_linkstate_ = 0;
+  bool walk_ok_valid_ = false;
+};
+
+}  // namespace ren::core

@@ -1,0 +1,83 @@
+#include "core/reply_db.hpp"
+
+namespace ren::core {
+
+bool ReplyDb::make_room(NodeId id) {
+  const std::size_t projected = entries_.size() + (contains(id) ? 0 : 1);
+  if (projected <= config_.max_replies) return false;
+  if (config_.reset_on_overflow) {
+    // C-reset: keep nothing (the self record is synthesized by the caller).
+    entries_.clear();
+    insert_order_.clear();
+    ++c_resets_;
+    return true;
+  }
+  // Section 8.1 variant: constant-size queue semantics, evict the oldest.
+  while (entries_.size() + 1 > config_.max_replies && !entries_.empty()) {
+    auto victim = insert_order_.begin();
+    for (auto it = insert_order_.begin(); it != insert_order_.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+    entries_.erase(victim->first);
+    insert_order_.erase(victim);
+  }
+  return false;
+}
+
+void ReplyDb::store(proto::QueryReply reply) {
+  const NodeId id = reply.id;
+  entries_[id] = std::move(reply);
+  insert_order_[id] = ++insert_counter_;
+}
+
+const proto::QueryReply* ReplyDb::find(NodeId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ReplyDb::erase_if(
+    const std::function<bool(const proto::QueryReply&)>& drop) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (drop(it->second)) {
+      insert_order_.erase(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReplyDb::corrupt(Rng& rng, NodeId node_space) {
+  auto rand_node = [&rng, node_space] {
+    return static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(node_space)));
+  };
+  // Scramble some stored replies.
+  for (auto& [id, reply] : entries_) {
+    if (rng.chance(0.4)) {
+      reply.nc.clear();
+      const auto n = rng.next_below(5);
+      for (std::uint64_t i = 0; i < n; ++i) reply.nc.push_back(rand_node());
+    }
+    if (rng.chance(0.3)) {
+      reply.tag_for_querier =
+          proto::Tag{rand_node(), static_cast<std::uint32_t>(
+                                      rng.next_below(proto::kTagDomain))};
+    }
+  }
+  // Fabricate bogus replies about nodes that may not exist.
+  const auto extra = rng.next_below(4);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    proto::QueryReply fake;
+    fake.id = rand_node();
+    const auto n = rng.next_below(4);
+    for (std::uint64_t k = 0; k < n; ++k) fake.nc.push_back(rand_node());
+    fake.from_controller = rng.chance(0.3);
+    fake.tag_for_querier =
+        proto::Tag{rand_node(),
+                   static_cast<std::uint32_t>(rng.next_below(proto::kTagDomain))};
+    store(std::move(fake));
+  }
+}
+
+}  // namespace ren::core

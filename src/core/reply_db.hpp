@@ -1,0 +1,59 @@
+// The controller's bounded store of query replies (Algorithm 2, `replyDB`).
+//
+// Capacity is maxReplies >= 2(N_C + N_S); overflowing it triggers a C-reset
+// (drop everything and restart discovery from the direct neighborhood) in
+// the memory-adaptive algorithm, or an oldest-entry eviction in the
+// non-memory-adaptive Theta(D) variant of Section 8.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "proto/messages.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::core {
+
+class ReplyDb {
+ public:
+  struct Config {
+    std::size_t max_replies = 1024;
+    bool reset_on_overflow = true;  ///< false = LRU eviction (Section 8.1)
+  };
+
+  explicit ReplyDb(Config config) : config_(config) {}
+
+  /// Line 21 of Algorithm 2: make room for a reply from `id`; returns true
+  /// when a C-reset was performed.
+  bool make_room(NodeId id);
+
+  /// Insert or replace the reply of reply.id.
+  void store(proto::QueryReply reply);
+
+  [[nodiscard]] const proto::QueryReply* find(NodeId id) const;
+  [[nodiscard]] bool contains(NodeId id) const { return find(id) != nullptr; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<NodeId, proto::QueryReply>& entries() const {
+    return entries_;
+  }
+
+  /// Remove entries for which `drop` returns true.
+  void erase_if(const std::function<bool(const proto::QueryReply&)>& drop);
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::uint64_t c_resets() const { return c_resets_; }
+
+  /// Transient-fault hook: fabricate bogus replies and scramble stored ones.
+  void corrupt(Rng& rng, NodeId node_space);
+
+ private:
+  Config config_;
+  std::map<NodeId, proto::QueryReply> entries_;
+  std::uint64_t insert_counter_ = 0;
+  std::map<NodeId, std::uint64_t> insert_order_;  // for LRU eviction
+  std::uint64_t c_resets_ = 0;
+};
+
+}  // namespace ren::core

@@ -1,0 +1,155 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+namespace ren::faults {
+
+namespace {
+
+std::vector<NodeId> live_control_ids(const ControlPlane& cp) {
+  std::vector<NodeId> ids;
+  for (const auto* c : cp.controllers) {
+    if (c->alive()) ids.push_back(c->id());
+  }
+  for (const auto* s : cp.switches) {
+    if (s->alive()) ids.push_back(s->id());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool view_connected(const flows::TopoView& v) {
+  if (v.node_count() == 0) return true;
+  const NodeId start = v.adj().begin()->first;
+  return v.reachable_set(start).size() == v.node_count();
+}
+
+}  // namespace
+
+flows::TopoView control_topology(const ControlPlane& cp) {
+  flows::TopoView view;
+  const auto ids = live_control_ids(cp);
+  for (NodeId n : ids) view.add_node(n);
+  const net::Network& net = cp.sim->network();
+  for (NodeId n : ids) {
+    for (const auto& e : net.adjacency(n)) {
+      if (net.link(e.link).state() == net::LinkState::PermanentDown) continue;
+      if (!std::binary_search(ids.begin(), ids.end(), e.neighbor)) continue;
+      view.add_edge(n, e.neighbor);
+    }
+  }
+  return view;
+}
+
+NodeId kill_random_controller(ControlPlane& cp, Rng& rng) {
+  std::vector<core::Controller*> live;
+  for (auto* c : cp.controllers) {
+    if (c->alive()) live.push_back(c);
+  }
+  if (live.size() <= 1) return kNoNode;  // keep at least one controller
+  core::Controller* victim = live[rng.next_below(live.size())];
+  cp.sim->kill_node(victim->id());
+  return victim->id();
+}
+
+std::vector<NodeId> kill_random_controllers(ControlPlane& cp, Rng& rng,
+                                            int count) {
+  std::vector<NodeId> killed;
+  for (int i = 0; i < count; ++i) {
+    const NodeId victim = kill_random_controller(cp, rng);
+    if (victim == kNoNode) break;
+    killed.push_back(victim);
+  }
+  return killed;
+}
+
+NodeId kill_random_switch(ControlPlane& cp, Rng& rng) {
+  std::vector<switchd::AbstractSwitch*> candidates;
+  for (auto* s : cp.switches) {
+    if (!s->alive()) continue;
+    if (std::find(cp.protected_switches.begin(), cp.protected_switches.end(),
+                  s->id()) != cp.protected_switches.end())
+      continue;
+    candidates.push_back(s);
+  }
+  rng.shuffle(candidates);
+  for (auto* s : candidates) {
+    // Simulate removal on a copy of the control topology.
+    flows::TopoView view;
+    const auto ids = live_control_ids(cp);
+    for (NodeId n : ids) {
+      if (n != s->id()) view.add_node(n);
+    }
+    const net::Network& net = cp.sim->network();
+    for (NodeId n : ids) {
+      if (n == s->id()) continue;
+      for (const auto& e : net.adjacency(n)) {
+        if (net.link(e.link).state() == net::LinkState::PermanentDown) continue;
+        if (e.neighbor == s->id()) continue;
+        if (!std::binary_search(ids.begin(), ids.end(), e.neighbor)) continue;
+        view.add_edge(n, e.neighbor);
+      }
+    }
+    if (view_connected(view)) {
+      cp.sim->kill_node(s->id());
+      return s->id();
+    }
+  }
+  return kNoNode;
+}
+
+std::pair<NodeId, NodeId> fail_random_link(ControlPlane& cp, Rng& rng) {
+  const auto ids = live_control_ids(cp);
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  const net::Network& net = cp.sim->network();
+  for (NodeId n : ids) {
+    for (const auto& e : net.adjacency(n)) {
+      if (e.neighbor < n) continue;  // dedupe
+      if (!net.link(e.link).operational()) continue;
+      if (!std::binary_search(ids.begin(), ids.end(), e.neighbor)) continue;
+      candidates.emplace_back(n, e.neighbor);
+    }
+  }
+  rng.shuffle(candidates);
+  for (const auto& [a, b] : candidates) {
+    flows::TopoView view = control_topology(cp);
+    // Rebuild without this edge.
+    flows::TopoView probe;
+    for (const auto& [n, nbrs] : view.adj()) {
+      probe.add_node(n);
+      for (NodeId v : nbrs) {
+        if ((n == a && v == b) || (n == b && v == a)) continue;
+        probe.add_edge(n, v);
+      }
+    }
+    if (view_connected(probe)) {
+      cp.sim->set_link_state(a, b, net::LinkState::PermanentDown);
+      return {a, b};
+    }
+  }
+  return {kNoNode, kNoNode};
+}
+
+std::vector<std::pair<NodeId, NodeId>> fail_random_links(ControlPlane& cp,
+                                                         Rng& rng, int count) {
+  std::vector<std::pair<NodeId, NodeId>> failed;
+  for (int i = 0; i < count; ++i) {
+    const auto link = fail_random_link(cp, rng);
+    if (link.first == kNoNode) break;
+    failed.push_back(link);
+  }
+  return failed;
+}
+
+void corrupt_all_state(ControlPlane& cp, Rng& rng) {
+  const auto node_space =
+      static_cast<NodeId>(cp.sim->node_count());
+  for (auto* s : cp.switches) {
+    if (s->alive()) s->corrupt_state(rng, node_space);
+  }
+  for (auto* c : cp.controllers) {
+    if (c->alive()) c->corrupt_state(rng, node_space);
+  }
+}
+
+}  // namespace ren::faults

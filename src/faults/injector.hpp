@@ -1,0 +1,61 @@
+// Fault injection (paper Sections 3.4 and 6.4).
+//
+// Benign faults: fail-stop of controllers and switches, permanent link
+// failures — always chosen so that the surviving control-plane graph stays
+// connected, as the paper's recovery guarantees assume. Transient faults:
+// arbitrary state corruption of switches and controllers (rules, manager
+// sets, replyDB, tags, transport labels, detector counters), driving the
+// self-stabilization experiments.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "flows/graph.hpp"
+#include "net/simulator.hpp"
+#include "switchd/abstract_switch.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::faults {
+
+/// The injector's handle on the system under test.
+struct ControlPlane {
+  net::Simulator* sim = nullptr;
+  std::vector<core::Controller*> controllers;
+  std::vector<switchd::AbstractSwitch*> switches;
+  /// Switches that must stay alive (e.g. host attachment points).
+  std::vector<NodeId> protected_switches;
+};
+
+/// The current control-plane topology over live nodes and non-permanently-
+/// failed links (the injector's notion of Gc).
+flows::TopoView control_topology(const ControlPlane& cp);
+
+/// Fail-stop one live controller chosen uniformly at random (keeps at least
+/// one controller alive). Returns its id, or kNoNode if impossible.
+NodeId kill_random_controller(ControlPlane& cp, Rng& rng);
+
+/// Fail-stop `count` distinct controllers simultaneously (Fig. 11).
+std::vector<NodeId> kill_random_controllers(ControlPlane& cp, Rng& rng,
+                                            int count);
+
+/// Fail-stop one switch whose removal keeps the surviving control plane
+/// connected and does not strand a protected switch. Returns kNoNode if no
+/// candidate exists.
+NodeId kill_random_switch(ControlPlane& cp, Rng& rng);
+
+/// Permanently fail one link whose removal keeps the control plane
+/// connected. Returns {kNoNode, kNoNode} if no candidate exists.
+std::pair<NodeId, NodeId> fail_random_link(ControlPlane& cp, Rng& rng);
+
+/// Permanently fail up to `count` links simultaneously (Fig. 14).
+std::vector<std::pair<NodeId, NodeId>> fail_random_links(ControlPlane& cp,
+                                                         Rng& rng, int count);
+
+/// Transient-fault storm: corrupt the state of every switch and controller
+/// (rules, managers, replyDB, tags, transport, detectors) in one step.
+void corrupt_all_state(ControlPlane& cp, Rng& rng);
+
+}  // namespace ren::faults

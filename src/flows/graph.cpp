@@ -1,0 +1,196 @@
+#include "flows/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace ren::flows {
+
+// --- Graph ------------------------------------------------------------------
+
+std::size_t Graph::edge_count() const {
+  std::size_t deg = 0;
+  for (const auto& a : adj_) deg += a.size();
+  return deg / 2;
+}
+
+void Graph::add_edge(int a, int b) {
+  ensure(std::max(a, b) + 1);
+  auto insert_sorted = [](std::vector<int>& v, int x) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) v.insert(it, x);
+  };
+  insert_sorted(adj_[static_cast<std::size_t>(a)], b);
+  insert_sorted(adj_[static_cast<std::size_t>(b)], a);
+}
+
+void Graph::remove_edge(int a, int b) {
+  auto erase_sorted = [](std::vector<int>& v, int x) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it != v.end() && *it == x) v.erase(it);
+  };
+  if (a < n() && b < n()) {
+    erase_sorted(adj_[static_cast<std::size_t>(a)], b);
+    erase_sorted(adj_[static_cast<std::size_t>(b)], a);
+  }
+}
+
+bool Graph::has_edge(int a, int b) const {
+  if (a >= n() || b >= n()) return false;
+  const auto& v = adj_[static_cast<std::size_t>(a)];
+  return std::binary_search(v.begin(), v.end(), b);
+}
+
+std::vector<int> Graph::bfs_dist(int src) const {
+  std::vector<int> dist(static_cast<std::size_t>(n()), -1);
+  std::deque<int> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push_back(src);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop_front();
+    for (int v : adj_[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (n() == 0) return true;
+  const auto d = bfs_dist(0);
+  return std::none_of(d.begin(), d.end(), [](int x) { return x < 0; });
+}
+
+int Graph::diameter() const {
+  int best = 0;
+  for (int s = 0; s < n(); ++s) {
+    for (int d : bfs_dist(s)) best = std::max(best, d);
+  }
+  return best;
+}
+
+namespace {
+
+// Unit-capacity max-flow via repeated BFS augmentation (Edmonds-Karp on the
+// residual multigraph). Small graphs only; fine for tests and generators.
+int unit_max_flow(const Graph& g, int s, int t, int cap_limit) {
+  const int n = g.n();
+  // residual capacity per directed pair, stored sparsely.
+  std::map<std::pair<int, int>, int> cap;
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.neighbors(u)) cap[{u, v}] = 1;
+  }
+  int flow = 0;
+  while (flow < cap_limit) {
+    std::vector<int> parent(static_cast<std::size_t>(n), -1);
+    parent[static_cast<std::size_t>(s)] = s;
+    std::deque<int> q{s};
+    while (!q.empty() && parent[static_cast<std::size_t>(t)] < 0) {
+      const int u = q.front();
+      q.pop_front();
+      for (int v : g.neighbors(u)) {
+        if (parent[static_cast<std::size_t>(v)] < 0 && cap[{u, v}] > 0) {
+          parent[static_cast<std::size_t>(v)] = u;
+          q.push_back(v);
+        }
+      }
+    }
+    if (parent[static_cast<std::size_t>(t)] < 0) break;
+    for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+      const int u = parent[static_cast<std::size_t>(v)];
+      cap[{u, v}] -= 1;
+      cap[{v, u}] += 1;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+}  // namespace
+
+int Graph::edge_disjoint_path_count(int s, int t) const {
+  if (s == t) return 0;
+  return unit_max_flow(*this, s, t, n());
+}
+
+int Graph::edge_connectivity() const {
+  if (n() < 2) return 0;
+  if (!connected()) return 0;
+  // lambda(G) = min over t != 0 of maxflow(0, t).
+  int best = n();
+  for (int t = 1; t < n(); ++t) {
+    best = std::min(best, edge_disjoint_path_count(0, t));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+// --- TopoView ---------------------------------------------------------------
+
+void TopoView::add_edge(NodeId a, NodeId b) {
+  auto& v = adj_[a];
+  auto it = std::lower_bound(v.begin(), v.end(), b);
+  if (it == v.end() || *it != b) v.insert(it, b);
+  adj_[b];  // the claimed neighbor becomes a node of the view
+}
+
+bool TopoView::has_edge(NodeId a, NodeId b) const {
+  auto it = adj_.find(a);
+  if (it == adj_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), b);
+}
+
+std::size_t TopoView::edge_count() const {
+  std::size_t deg = 0;
+  for (const auto& [_, nbrs] : adj_) deg += nbrs.size();
+  return deg;
+}
+
+const std::vector<NodeId>* TopoView::neighbors(NodeId n) const {
+  auto it = adj_.find(n);
+  return it == adj_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> TopoView::reachable_set(NodeId from) const {
+  std::vector<NodeId> out;
+  if (!has_node(from)) return out;
+  std::set<NodeId> seen{from};
+  std::deque<NodeId> q{from};
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop_front();
+    out.push_back(u);
+    if (const auto* nbrs = neighbors(u)) {
+      for (NodeId v : *nbrs) {
+        if (seen.insert(v).second) q.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+bool TopoView::reachable(NodeId from, NodeId to) const {
+  if (from == to) return has_node(from);
+  const auto set = reachable_set(from);
+  return std::find(set.begin(), set.end(), to) != set.end();
+}
+
+std::uint64_t TopoView::fingerprint() const {
+  // FNV-1a over the sorted adjacency structure.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [node, nbrs] : adj_) {
+    mix(static_cast<std::uint64_t>(node) + 0x9e37);
+    for (NodeId v : nbrs) mix(static_cast<std::uint64_t>(v) + 0x85eb);
+  }
+  return h;
+}
+
+}  // namespace ren::flows

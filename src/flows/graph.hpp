@@ -1,0 +1,98 @@
+// Graph primitives shared by the rule compiler, the topology generators and
+// the controllers' topology views.
+//
+// Two representations:
+//  * Graph     — compact, index-based, for generators and whole-network
+//                algorithms (diameter, edge connectivity).
+//  * TopoView  — sparse, NodeId-keyed, for what a controller *believes* the
+//                topology to be (paper: G(S) built from query replies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ren::flows {
+
+class Graph {
+ public:
+  explicit Graph(int n = 0) : adj_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] int n() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  void ensure(int n) {
+    if (n > this->n()) adj_.resize(static_cast<std::size_t>(n));
+  }
+  /// Add an undirected edge (idempotent). Keeps adjacency sorted, which
+  /// makes path computations deterministic ("first shortest path").
+  void add_edge(int a, int b);
+  void remove_edge(int a, int b);
+  [[nodiscard]] bool has_edge(int a, int b) const;
+  [[nodiscard]] const std::vector<int>& neighbors(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// BFS distances from src; unreachable = -1.
+  [[nodiscard]] std::vector<int> bfs_dist(int src) const;
+  [[nodiscard]] bool connected() const;
+  /// Largest shortest-path distance over all reachable pairs.
+  [[nodiscard]] int diameter() const;
+  /// Global edge connectivity lambda(G) (unit-capacity max-flow based).
+  [[nodiscard]] int edge_connectivity() const;
+  /// Max number of edge-disjoint paths between s and t (unit-cap max-flow).
+  [[nodiscard]] int edge_disjoint_path_count(int s, int t) const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+/// A controller's accumulated knowledge of the topology. Node set and edge
+/// set follow the paper's G(S) definition: nodes are reply senders and their
+/// claimed neighbors; edges are *directed* from a sender to each claimed
+/// neighbor. Directed evidence is what makes recovery from state corruption
+/// possible: a single corrupted reply can fabricate edges out of its sender,
+/// but never paths *into* a real node, so queries keep reaching every real
+/// node and fresh replies flush the corruption. In a converged view every
+/// physical link is reported by both endpoints, so the view coincides with
+/// the symmetric ground-truth topology.
+class TopoView {
+ public:
+  void add_node(NodeId n) { adj_[n]; }
+  /// Add the directed edge a -> b (idempotent).
+  void add_edge(NodeId a, NodeId b);
+  /// Add both directions (used when building ground-truth views).
+  void add_sym_edge(NodeId a, NodeId b) {
+    add_edge(a, b);
+    add_edge(b, a);
+  }
+
+  [[nodiscard]] bool has_node(NodeId n) const { return adj_.count(n) != 0; }
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  /// Number of directed edges.
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] const std::map<NodeId, std::vector<NodeId>>& adj() const {
+    return adj_;
+  }
+  /// Out-neighbors of n (claimed by n itself), or nullptr.
+  [[nodiscard]] const std::vector<NodeId>* neighbors(NodeId n) const;
+
+  /// Nodes reachable from `from` along directed edges (including `from`).
+  [[nodiscard]] std::vector<NodeId> reachable_set(NodeId from) const;
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const;
+
+  /// Stable content hash for caching compiled rules per view.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  friend bool operator==(const TopoView&, const TopoView&) = default;
+
+ private:
+  std::map<NodeId, std::vector<NodeId>> adj_;  // sorted unique out-neighbors
+};
+
+}  // namespace ren::flows

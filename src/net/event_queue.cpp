@@ -1,0 +1,29 @@
+#include "net/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ren::net {
+
+void EventQueue::schedule_at(Time at, Action action) {
+  if (at < now_) at = now_;  // clamp: never schedule in the past
+  heap_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+Time EventQueue::next_time() const {
+  return heap_.empty() ? kTimeNever : heap_.top().at;
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (std::function copy) and pop.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+}  // namespace ren::net

@@ -1,0 +1,59 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion order) — ties broken by a monotonically
+// increasing sequence number so that runs are bit-for-bit reproducible,
+// which the self-stabilization experiments rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ren::net {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `at` (must be >= now()).
+  void schedule_at(Time at, Action action);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Current simulated time (time of the last executed event).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Time of the next pending event, or kTimeNever when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Execute the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ren::net

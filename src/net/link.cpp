@@ -1,0 +1,50 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace ren::net {
+
+Link::TxPlan Link::plan_transmission(NodeId from, std::uint32_t bytes, Time now,
+                                     Rng& rng) {
+  TxPlan plan;
+  const int d = dir(from);
+
+  // Serialization: the packet occupies the transmitter for bytes*8/bw.
+  Time ser = 0;
+  if (params_.bandwidth_bps > 0) {
+    ser = static_cast<Time>(static_cast<double>(bytes) * 8.0 * 1e6 /
+                            params_.bandwidth_bps);
+  }
+  const Time start = std::max(now, busy_until_[d]);
+
+  // Drop-tail queue: bound the backlog a sender may accumulate.
+  if (start - now > params_.max_queue_delay) {
+    plan.dropped = true;
+    return plan;
+  }
+  busy_until_[d] = start + ser;
+
+  // Random omission (the transport layer recovers from these).
+  if (params_.faults.loss > 0 && rng.chance(params_.faults.loss)) {
+    plan.dropped = true;
+    return plan;
+  }
+
+  Time deliver = busy_until_[d] + params_.latency;
+  if (params_.faults.reorder > 0 && rng.chance(params_.faults.reorder)) {
+    deliver += static_cast<Time>(
+        rng.next_below(static_cast<std::uint64_t>(
+            std::max<Time>(params_.faults.reorder_delay_max, 1))));
+  }
+  plan.deliver_at = deliver;
+
+  if (params_.faults.duplicate > 0 && rng.chance(params_.faults.duplicate)) {
+    plan.duplicated = true;
+    plan.duplicate_at =
+        deliver + static_cast<Time>(rng.next_below(
+                      static_cast<std::uint64_t>(params_.latency + 1)));
+  }
+  return plan;
+}
+
+}  // namespace ren::net

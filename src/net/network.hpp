@@ -1,0 +1,62 @@
+// The physical network: nodes' adjacency and the set of links.
+//
+// Terminology follows the paper: Gc (connected communication topology) is
+// the set of links that have not failed permanently; Go (operational
+// topology) is the subset whose links are currently up.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "util/types.hpp"
+
+namespace ren::net {
+
+class Network {
+ public:
+  struct Edge {
+    NodeId neighbor = kNoNode;
+    int link = -1;
+  };
+
+  /// Grow the adjacency structure to cover node ids [0, n).
+  void ensure_nodes(std::size_t n);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Add a bidirectional link; returns its index. Parallel links between the
+  /// same pair are not supported (the paper's model has simple graphs).
+  int add_link(NodeId a, NodeId b, const LinkParams& params);
+
+  [[nodiscard]] Link& link(int index) { return links_[index]; }
+  [[nodiscard]] const Link& link(int index) const { return links_[index]; }
+
+  /// Find the link between a and b, or nullptr.
+  [[nodiscard]] Link* find_link(NodeId a, NodeId b);
+  [[nodiscard]] const Link* find_link(NodeId a, NodeId b) const;
+
+  /// All configured edges at `n` (including failed links; filter by state).
+  [[nodiscard]] const std::vector<Edge>& adjacency(NodeId n) const {
+    return adjacency_[static_cast<std::size_t>(n)];
+  }
+
+  /// Neighbors of `n` in Gc: links that are not permanently down.
+  [[nodiscard]] std::vector<NodeId> neighbors_connected(NodeId n) const;
+
+  /// Neighbors of `n` in Go: links that are currently operational.
+  [[nodiscard]] std::vector<NodeId> neighbors_operational(NodeId n) const;
+
+  /// True when the a-b link exists and is operational (Go membership).
+  [[nodiscard]] bool link_operational(NodeId a, NodeId b) const;
+
+  /// True when the a-b link exists and is not permanently down (Gc).
+  [[nodiscard]] bool link_connected(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Link> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace ren::net

@@ -1,0 +1,43 @@
+// Base class for simulated nodes (abstract switches, controllers, hosts).
+#pragma once
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace ren::net {
+
+class Simulator;
+
+class Node {
+ public:
+  Node(NodeId id, NodeKind kind) : id_(id), kind_(kind) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Called once after the node is wired into the simulator; schedule the
+  /// initial timers here.
+  virtual void start() {}
+
+  /// A packet arrived on the port facing `from_neighbor`.
+  virtual void on_packet(NodeId from_neighbor, const Packet& packet) = 0;
+
+  /// Fail-stop: the node ceases all activity (timers check alive()).
+  virtual void fail_stop() { alive_ = false; }
+
+ protected:
+  friend class Simulator;
+  Simulator* sim_ = nullptr;  ///< set by Simulator::add_node
+
+ private:
+  NodeId id_;
+  NodeKind kind_;
+  bool alive_ = true;
+};
+
+}  // namespace ren::net

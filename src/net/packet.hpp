@@ -1,0 +1,34 @@
+// A simulated network packet. Control traffic and data traffic share the
+// same packet type and the same links — the essence of in-band control.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/payload.hpp"
+#include "util/types.hpp"
+
+namespace ren::net {
+
+/// Hop budget; cuts forwarding loops caused by corrupted rules during the
+/// recovery period (a legitimate path is never longer than the node count).
+inline constexpr int kDefaultTtl = 255;
+
+struct Packet {
+  NodeId src = kNoNode;  ///< original endpoint (rule match field `src`)
+  NodeId dst = kNoNode;  ///< final endpoint (rule match field `dest`)
+  int ttl = kDefaultTtl;
+  std::uint32_t bytes = 0;  ///< wire size, for bandwidth modelling
+  proto::PayloadPtr payload;
+};
+
+/// Build a packet and compute its wire size from the payload.
+inline Packet make_packet(NodeId src, NodeId dst, proto::Payload payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.bytes = static_cast<std::uint32_t>(proto::wire_size(payload));
+  p.payload = std::make_shared<const proto::Payload>(std::move(payload));
+  return p;
+}
+
+}  // namespace ren::net

@@ -1,0 +1,101 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace ren::net {
+
+void Simulator::schedule_for(NodeId node_id, Time delay,
+                             std::function<void()> action) {
+  schedule(delay, [this, node_id, action = std::move(action)]() {
+    if (node(node_id).alive()) action();
+  });
+}
+
+void Simulator::run_until(Time t) {
+  while (!events_.empty() && events_.next_time() <= t) events_.step();
+}
+
+NodeId Simulator::add_node(std::unique_ptr<Node> node) {
+  const NodeId id = node->id();
+  if (static_cast<std::size_t>(id) != nodes_.size())
+    throw std::invalid_argument("add_node: node ids must be dense 0..N-1");
+  node->sim_ = this;
+  nodes_.push_back(std::move(node));
+  network_.ensure_nodes(nodes_.size());
+  counters_.ensure_nodes(nodes_.size());
+  return id;
+}
+
+std::vector<NodeId> Simulator::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n->kind() == kind) out.push_back(n->id());
+  }
+  return out;
+}
+
+int Simulator::add_link(NodeId a, NodeId b, const LinkParams& params) {
+  return network_.add_link(a, b, params);
+}
+
+void Simulator::kill_node(NodeId id) {
+  Node& n = node(id);
+  n.fail_stop();
+  for (const Network::Edge& e : network_.adjacency(id)) {
+    network_.link(e.link).set_state(LinkState::PermanentDown);
+  }
+  REN_LOG(Info, "t=%.3fs node %d fail-stopped", to_seconds(now()), id);
+}
+
+void Simulator::set_link_state(NodeId a, NodeId b, LinkState state) {
+  Link* l = network_.find_link(a, b);
+  if (l == nullptr) throw std::invalid_argument("set_link_state: no such link");
+  l->set_state(state);
+}
+
+void Simulator::send(NodeId from, NodeId to, Packet packet) {
+  ++counters_.packets_sent;
+  Link* link = network_.find_link(from, to);
+  if (link == nullptr ||
+      (!link->passes_traffic() && link->state() != LinkState::Blackhole)) {
+    ++counters_.drops_link_down;
+    return;
+  }
+  // A blackholing (failing-but-not-yet-detected) port flaps: most packets
+  // are lost, a trickle still passes — that trickle is what produces the
+  // duplicate-ack and out-of-order signatures of Figs. 18-20.
+  if (link->state() == LinkState::Blackhole && rng_.chance(0.9)) {
+    ++counters_.drops_link_down;
+    return;
+  }
+  const Link::TxPlan plan =
+      link->plan_transmission(from, packet.bytes, now(), rng_);
+  if (plan.dropped) {
+    ++counters_.drops_queue;
+    return;
+  }
+
+  const int link_index = link->index();
+  auto deliver = [this, from, to, link_index, packet](Time at) {
+    events_.schedule_at(at, [this, from, to, link_index, packet]() {
+      // In-flight packets on a permanently removed link are lost.
+      if (network_.link(link_index).state() == LinkState::PermanentDown) {
+        ++counters_.drops_link_down;
+        return;
+      }
+      Node& receiver = node(to);
+      if (!receiver.alive()) {
+        ++counters_.drops_dead_node;
+        return;
+      }
+      ++counters_.packets_delivered;
+      receiver.on_packet(from, packet);
+    });
+  };
+  deliver(plan.deliver_at);
+  if (plan.duplicated) deliver(plan.duplicate_at);
+}
+
+}  // namespace ren::net

@@ -1,0 +1,124 @@
+// The simulation kernel: owns the event queue, the network, the nodes, the
+// RNG and the global counters. Single-threaded by design — the paper's
+// interleaving model has one atomic step at a time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/event_queue.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::net {
+
+/// Global accounting used by the benches (Fig. 9 communication overhead,
+/// drop diagnostics, Lemma 3 message sizes).
+struct Counters {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t drops_link_down = 0;
+  std::uint64_t drops_queue = 0;
+  std::uint64_t drops_dead_node = 0;
+  std::uint64_t drops_ttl = 0;
+  std::uint64_t drops_no_rule = 0;
+  std::uint64_t drops_ambiguous_rule = 0;
+  std::uint64_t control_bytes_sent = 0;
+  std::uint64_t max_control_message_bytes = 0;
+
+  /// Application-level control messages originated per node (transport Act
+  /// frames carrying a Message). Indexed by NodeId.
+  std::vector<std::uint64_t> ctrl_messages_sent;
+  /// Individual controller commands issued per node (newRound, addMngr,
+  /// updateRule, query, ...). Indexed by NodeId; drives the Fig. 9 metric.
+  std::vector<std::uint64_t> ctrl_commands_sent;
+  /// Completed do-forever iterations per node. Indexed by NodeId.
+  std::vector<std::uint64_t> iterations;
+
+  void ensure_nodes(std::size_t n) {
+    if (ctrl_messages_sent.size() < n) ctrl_messages_sent.resize(n, 0);
+    if (ctrl_commands_sent.size() < n) ctrl_commands_sent.resize(n, 0);
+    if (iterations.size() < n) iterations.resize(n, 0);
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+
+  // --- time & events --------------------------------------------------------
+  [[nodiscard]] Time now() const { return events_.now(); }
+  void schedule(Time delay, EventQueue::Action action) {
+    events_.schedule_at(now() + delay, std::move(action));
+  }
+  void schedule_at(Time at, EventQueue::Action action) {
+    events_.schedule_at(at, std::move(action));
+  }
+  /// Schedule an action that is silently skipped if the node has fail-stopped.
+  void schedule_for(NodeId node, Time delay, std::function<void()> action);
+
+  bool step() { return events_.step(); }
+  /// Run until simulated time `t` (events at exactly t are executed).
+  void run_until(Time t);
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_.executed();
+  }
+
+  // --- topology --------------------------------------------------------------
+  /// Transfer ownership of a node into the simulator. The node's id must
+  /// equal the current node count (dense ids).
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  template <typename T, typename... Args>
+  T& emplace_node(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    add_node(std::move(owned));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) {
+    return *nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    return *nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  int add_link(NodeId a, NodeId b, const LinkParams& params);
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] const Network& network() const { return network_; }
+
+  // --- failures ----------------------------------------------------------------
+  /// Fail-stop a node: it stops taking steps and all its links go down
+  /// permanently (the paper's node-removal semantics, Section 3.4.2).
+  void kill_node(NodeId id);
+
+  /// Change the state of the a-b link. Throws if the link does not exist.
+  void set_link_state(NodeId a, NodeId b, LinkState state);
+
+  // --- services ---------------------------------------------------------------
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Counters& counters() { return counters_; }
+
+  /// Transmit `packet` from `from` to its direct neighbor `to`. Applies
+  /// link state, bandwidth/queueing and the packet fault model; delivery
+  /// invokes `Node::on_packet` on the receiver.
+  void send(NodeId from, NodeId to, Packet packet);
+
+ private:
+  EventQueue events_;
+  Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace ren::net

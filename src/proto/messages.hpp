@@ -1,0 +1,121 @@
+// Control-plane wire messages (paper Figure 4).
+//
+// A controller sends an aggregated *command batch* to each reachable node:
+//   <'newRound', t> ... update commands ... <'updateRule', rules> <'query', t>
+// Switches apply the batch atomically and answer the trailing query with
+// their configuration <j, Nc(j), manager(j), rules(j)>. Controllers ignore
+// everything but the query, which they answer with their neighborhood and
+// the echoed tag (Algorithm 2, line 23).
+//
+// Fidelity note: in query replies the rule set is carried as per-owner
+// summaries (owner id, round tag, rule count) rather than the full rules.
+// Algorithm 2 only inspects rule ownership and tags of replies; the full
+// rule bytes still count toward message sizes via `rules_wire_bytes`, so the
+// Lemma 3 / Fig. 9 measurements reflect the real encoding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "proto/rule.hpp"
+#include "proto/tag.hpp"
+#include "util/types.hpp"
+
+namespace ren::proto {
+
+// --- Commands -----------------------------------------------------------
+
+struct NewRoundCmd {
+  Tag tag;            ///< becomes the sender's meta-rule (round) tag
+  int retention = 2;  ///< rounds of old rule lists the switch retains:
+                      ///< 2 = Algorithm 2, 3 = the Section 6.2 variant
+};
+struct DelMngrCmd {
+  NodeId k = kNoNode;  ///< manager to remove
+};
+struct AddMngrCmd {
+  NodeId k = kNoNode;  ///< manager to add
+};
+struct DelAllRulesCmd {
+  NodeId k = kNoNode;  ///< delete every rule whose cID == k
+};
+struct UpdateRuleCmd {
+  RuleListPtr rules;  ///< replaces the sender's rules for round `tag`
+  Tag tag;
+};
+struct QueryCmd {
+  Tag tag;  ///< round tag echoed in the reply
+};
+
+using Command = std::variant<NewRoundCmd, DelMngrCmd, AddMngrCmd,
+                             DelAllRulesCmd, UpdateRuleCmd, QueryCmd>;
+
+/// One aggregated configuration+query message (Algorithm 2, line 19).
+struct CommandBatch {
+  NodeId from = kNoNode;  ///< issuing controller p_i
+  std::vector<Command> commands;
+};
+
+// --- Replies ------------------------------------------------------------
+
+/// Per-owner rule summary inside a query reply.
+struct RuleOwnerSummary {
+  NodeId cid = kNoNode;
+  Tag tag;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const RuleOwnerSummary&,
+                         const RuleOwnerSummary&) = default;
+};
+
+/// Query reply m = <ID, Nc, Mng, rules> (Figure 4). `tag_for_querier` is the
+/// round tag as seen by the querying controller: for switches the tag of the
+/// querier's meta rule, for controllers the echoed query tag.
+struct QueryReply {
+  NodeId id = kNoNode;
+  std::vector<NodeId> nc;        ///< respondent's communication neighborhood
+  std::vector<NodeId> managers;  ///< switch only; empty for controllers
+  std::vector<RuleOwnerSummary> rule_owners;
+  std::size_t rules_wire_bytes = 0;  ///< encoded size of the full rule set
+  Tag tag_for_querier;
+  bool from_controller = false;
+};
+
+using Message = std::variant<CommandBatch, QueryReply>;
+
+// --- Wire-size accounting (Lemma 3) ----------------------------------------
+
+inline std::size_t wire_size(const Command& c) {
+  return std::visit(
+      [](const auto& v) -> std::size_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, UpdateRuleCmd>) {
+          std::size_t s = 12;
+          if (v.rules) s += v.rules->size() * wire_size(Rule{});
+          return s;
+        } else {
+          return 12;  // opcode + one id/tag operand
+        }
+      },
+      c);
+}
+
+inline std::size_t wire_size(const CommandBatch& b) {
+  std::size_t s = 8;
+  for (const auto& c : b.commands) s += wire_size(c);
+  return s;
+}
+
+inline std::size_t wire_size(const QueryReply& r) {
+  return 24 + 4 * (r.nc.size() + r.managers.size()) + r.rules_wire_bytes;
+}
+
+inline std::size_t wire_size(const Message& m) {
+  return std::visit([](const auto& v) { return wire_size(v); }, m);
+}
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace ren::proto

@@ -1,0 +1,65 @@
+// The union of everything that can ride inside a simulated network packet:
+// self-stabilizing transport frames (carrying control-plane messages),
+// neighbor-discovery probes, and data-plane TCP segments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+
+#include "proto/messages.hpp"
+#include "util/types.hpp"
+
+namespace ren::proto {
+
+// --- Self-stabilizing end-to-end transport (paper Section 3.1) -------------
+
+enum class FrameKind : std::uint8_t { Act, Ack };
+
+/// Token frame of the end-to-end protocol: at any time during a legal
+/// execution exactly one token {act, ack} circulates per directed session.
+struct Frame {
+  FrameKind kind = FrameKind::Act;
+  std::uint32_t label = 0;  ///< bounded alternating label
+  MessagePtr payload;       ///< only for Act frames
+};
+
+// --- Local topology discovery / Theta failure detector ---------------------
+
+struct Probe {
+  std::uint64_t round = 0;
+};
+struct ProbeReply {
+  std::uint64_t round = 0;
+};
+
+// --- Data plane (TCP Reno model, Section 6.4.3 experiments) ----------------
+
+struct Segment {
+  std::uint64_t seq = 0;   ///< first byte carried (sender) / cumulative ack
+  std::uint32_t len = 0;   ///< payload bytes (0 for pure acks)
+  std::uint64_t ack = 0;   ///< cumulative ack (receiver -> sender)
+  bool is_ack = false;
+  Time sent_at = 0;        ///< sender timestamp (for RTT sampling)
+  bool retransmit = false; ///< marked for the Fig. 18 accounting
+};
+
+using Payload = std::variant<Frame, Probe, ProbeReply, Segment>;
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+inline std::size_t wire_size(const Payload& p) {
+  return std::visit(
+      [](const auto& v) -> std::size_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Frame>) {
+          return 16 + (v.payload ? wire_size(*v.payload) : 0);
+        } else if constexpr (std::is_same_v<T, Segment>) {
+          return 40 + v.len;  // TCP/IP-ish header + payload
+        } else {
+          return 16;  // probes
+        }
+      },
+      p);
+}
+
+}  // namespace ren::proto

@@ -1,0 +1,62 @@
+// Packet-forwarding rules of the abstract SDN switch (paper Section 2.1).
+//
+// A rule is the tuple <cID, sID, src, dest, prt, fwd>:
+//   cID  controller that installed the rule
+//   sID  switch that stores the rule
+//   src  match: packet source        (kNoNode = wildcard)
+//   dest match: packet destination   (kNoNode = wildcard)
+//   prt  priority in {0..n_prt}; higher wins among applicable rules
+//   fwd  action: neighbor to forward to
+//
+// The paper additionally tags every rule with the installing controller's
+// synchronization-round tag. We keep tags at rule-*list* granularity: a
+// controller replaces its whole rule set on a switch atomically per round
+// (UpdateRuleCmd carries the round tag), which is how the prototype batches
+// updates. The per-controller *meta rule* of the paper is represented by the
+// switch remembering the most recent round tag per manager.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/tag.hpp"
+#include "util/types.hpp"
+
+namespace ren::proto {
+
+struct Rule {
+  NodeId cid = kNoNode;   ///< installing controller (rule owner)
+  NodeId sid = kNoNode;   ///< switch holding the rule
+  NodeId src = kNoNode;   ///< match on packet source (kNoNode = wildcard)
+  NodeId dest = kNoNode;  ///< match on packet destination (kNoNode = wildcard)
+  Priority prt = 0;       ///< priority; higher value = applied first
+  NodeId fwd = kNoNode;   ///< out-port (neighbor id)
+
+  /// True when the match part covers a packet with the given header fields.
+  [[nodiscard]] bool matches(NodeId pkt_src, NodeId pkt_dst) const {
+    const bool src_ok = (src == kNoNode) || (src == pkt_src);
+    const bool dst_ok = (dest == kNoNode) || (dest == pkt_dst);
+    return src_ok && dst_ok;
+  }
+
+  /// Exact matches beat wildcards of the same priority (2 = both exact).
+  [[nodiscard]] int specificity() const {
+    return (src != kNoNode ? 1 : 0) + (dest != kNoNode ? 1 : 0);
+  }
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+/// Approximate encoded size in bytes, used for the message-size analysis
+/// (Lemma 3) and for bandwidth modelling of control traffic.
+inline std::size_t wire_size(const Rule&) {
+  return 4 * 6 + 4;  // six fields + list tag amortized
+}
+
+using RuleList = std::vector<Rule>;
+/// Rule lists are immutable once compiled and shared by pointer between the
+/// compiler cache, in-flight messages, and switch tables.
+using RuleListPtr = std::shared_ptr<const RuleList>;
+
+}  // namespace ren::proto

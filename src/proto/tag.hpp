@@ -1,0 +1,40 @@
+// Synchronization-round tags (paper Section 4.2).
+//
+// Each controller brackets its configuration queries/updates in rounds named
+// by a tag that is unique during legal executions. The paper assumes a
+// self-stabilizing bounded-tag algorithm (Alon et al. [20]); we model tags as
+// (owner, epoch) pairs drawn from a bounded domain -- the epoch wraps at
+// kTagDomain, which stands in for the finite tagDomain of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace ren::proto {
+
+/// Size of the bounded tag domain per owner. Large enough that wrap-around
+/// never recycles a tag that is still present somewhere in the system during
+/// a legal execution (the paper's uniqueness requirement).
+inline constexpr std::uint32_t kTagDomain = 1u << 30;
+
+struct Tag {
+  NodeId owner = kNoNode;   ///< Controller that generated the tag.
+  std::uint32_t epoch = 0;  ///< Position within the bounded domain.
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+};
+
+/// The "null" tag: matches nothing that nextTag() ever returns.
+inline constexpr Tag kNullTag{};
+
+struct TagHash {
+  std::size_t operator()(const Tag& t) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.owner)) << 32) |
+        t.epoch);
+  }
+};
+
+}  // namespace ren::proto

@@ -1,0 +1,137 @@
+// The experiment harness: builds a complete Renaissance deployment (switch
+// fabric + attached controllers + optional host pair), drives it to a
+// legitimate state, injects faults, and measures the quantities the paper's
+// evaluation reports (bootstrap/recovery time, message overhead, TCP
+// throughput around a failover).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/legitimacy.hpp"
+#include "faults/injector.hpp"
+#include "net/simulator.hpp"
+#include "switchd/abstract_switch.hpp"
+#include "tcp/host.hpp"
+#include "topo/topologies.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::sim {
+
+struct ExperimentConfig {
+  std::string topology = "B4";  ///< B4, Clos, Telstra, ATT, EBONE
+  int controllers = 3;
+  int kappa = 2;
+  Time task_delay = msec(500);        ///< paper Section 6.3 default
+  Time detect_interval = msec(100);
+  int theta = 10;                     ///< 10 small nets, 30 large (paper)
+  int rule_retention = 3;             ///< 3 = the paper's evaluation variant
+  bool memory_adaptive = true;        ///< false = Section 8.1 variant
+  std::uint64_t seed = 1;
+
+  Time link_latency = msec(1);
+  double link_bandwidth_bps = 1e9;    ///< paper: 1000 Mbit/s
+  Time link_max_queue_delay = msec(50);
+  double link_loss = 0.0;
+  double link_duplicate = 0.0;
+  double link_reorder = 0.0;
+
+  Time monitor_interval = msec(250);  ///< legitimacy sampling resolution
+  std::size_t max_rules = 1u << 20;
+  std::size_t max_replies = 0;        ///< 0 = auto: 2(N_C+N_S)+4
+  std::size_t max_managers = 64;
+  bool with_hosts = false;            ///< attach a host pair at max distance
+  bool check_rule_walk = true;        ///< monitor strictness
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  // --- Accessors -----------------------------------------------------------
+  [[nodiscard]] net::Simulator& sim() { return sim_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] std::size_t controller_count() const {
+    return controllers_.size();
+  }
+  [[nodiscard]] core::Controller& controller(std::size_t k) {
+    return *controllers_[k];
+  }
+  [[nodiscard]] const std::vector<core::Controller*>& controllers() {
+    return controllers_;
+  }
+  [[nodiscard]] const std::vector<switchd::AbstractSwitch*>& switches() {
+    return switches_;
+  }
+  [[nodiscard]] core::LegitimacyMonitor& monitor() { return *monitor_; }
+  [[nodiscard]] faults::ControlPlane control_plane();
+  [[nodiscard]] Rng& fault_rng() { return fault_rng_; }
+
+  [[nodiscard]] tcp::Host* host_a() { return host_a_; }
+  [[nodiscard]] tcp::Host* host_b() { return host_b_; }
+
+  // --- Convergence measurement ----------------------------------------------
+  struct ConvergenceResult {
+    bool converged = false;
+    double seconds = 0;  ///< from call time to the first legitimate sample
+    /// Per-controller deltas over the measured window:
+    std::vector<std::uint64_t> iterations;
+    std::vector<std::uint64_t> messages;
+    std::vector<std::uint64_t> commands;
+    std::string last_reason;  ///< monitor's last failure reason (diagnostics)
+  };
+
+  /// Run until the monitor reports a legitimate state (sampled every
+  /// monitor_interval), or until `limit` simulated time elapses.
+  ConvergenceResult run_until_legitimate(Time limit);
+
+  // --- Throughput experiment (Figs. 15-20) -----------------------------------
+  struct ThroughputRun {
+    Time duration = sec(30);
+    Time fail_at = sec(10);
+    /// Port-down detection window: the failed link blackholes traffic for
+    /// this long before the data plane fails over (models OVS carrier/BFD
+    /// detection latency; drives the Fig. 18 retransmission spike).
+    Time detection_delay = msec(150);
+    bool with_recovery = true;  ///< false = Fig. 16 (controllers frozen)
+    tcp::RenoConfig tcp;
+  };
+  struct ThroughputResult {
+    bool ok = false;
+    std::vector<double> mbits;     ///< per-second series (Fig. 15/16)
+    std::vector<double> retx_pct;  ///< Fig. 18
+    std::vector<double> bad_pct;   ///< Fig. 19
+    std::vector<double> ooo_pct;   ///< Fig. 20
+    std::vector<NodeId> primary_path;
+    std::pair<NodeId, NodeId> failed_link{kNoNode, kNoNode};
+  };
+  ThroughputResult run_throughput(const ThroughputRun& run);
+
+  /// The data path host_a -> host_b implied by the currently installed rules.
+  [[nodiscard]] std::vector<NodeId> current_data_path();
+
+ private:
+  void build();
+  [[nodiscard]] std::vector<NodeId> data_path_between(tcp::Host* from,
+                                                      tcp::Host* to);
+  [[nodiscard]] std::pair<NodeId, NodeId> pick_failover_link(
+      const std::vector<NodeId>& path);
+
+  ExperimentConfig config_;
+  topo::Topology topo_;
+  net::Simulator sim_;
+  Rng fault_rng_;
+  std::vector<core::Controller*> controllers_;
+  std::vector<switchd::AbstractSwitch*> switches_;
+  std::unique_ptr<core::LegitimacyMonitor> monitor_;
+  tcp::Host* host_a_ = nullptr;
+  tcp::Host* host_b_ = nullptr;
+};
+
+}  // namespace ren::sim

@@ -1,0 +1,90 @@
+// The abstract SDN switch (paper Section 2.1).
+//
+// Beyond match-action forwarding, the abstract switch offers exactly the
+// small control surface the paper needs:
+//  * configuration queries and command batches from controllers (equal-role
+//    multi-controller management, bounded manager set with LRU eviction),
+//  * per-controller meta (round) tags echoed in query replies,
+//  * query-by-neighbor: packets addressed to a direct neighbor are handed
+//    over even without an installed rule — this is what lets a controller
+//    bootstrap ring-by-ring,
+//  * local topology discovery via the Theta failure detector.
+//
+// Control traffic is in-band: a frame destined elsewhere is forwarded by the
+// rule table's fast-failover candidates; frames addressed to the switch go
+// to its control module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "detect/theta_detector.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "switchd/rule_table.hpp"
+#include "transport/endpoint.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::switchd {
+
+class AbstractSwitch : public net::Node {
+ public:
+  struct Config {
+    std::size_t max_rules = 1u << 20;   ///< clogged-memory bound
+    std::size_t max_managers = 64;      ///< bounded manager set
+    Time tick_interval = msec(500);     ///< control-module timer (retransmits)
+    Time detect_interval = msec(100);   ///< neighborhood discovery interval
+    int theta = 10;                     ///< failure-detector threshold
+  };
+
+  AbstractSwitch(NodeId id, Config config);
+
+  void start() override;
+  void on_packet(NodeId from_neighbor, const net::Packet& packet) override;
+
+  // --- Introspection (legitimacy monitor, tests) -------------------------
+  [[nodiscard]] RuleTable& rule_table() { return rules_; }
+  [[nodiscard]] const RuleTable& rule_table() const { return rules_; }
+  [[nodiscard]] std::vector<NodeId> managers() const;
+  [[nodiscard]] const detect::ThetaDetector& detector() const {
+    return detector_;
+  }
+  [[nodiscard]] const transport::Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] std::uint64_t manager_evictions() const {
+    return manager_evictions_;
+  }
+  /// The port the given peer was last heard on (kNoNode if never).
+  [[nodiscard]] NodeId last_port_of(NodeId peer) const {
+    auto it = last_port_.find(peer);
+    return it == last_port_.end() ? kNoNode : it->second;
+  }
+
+  /// Transient-fault hook: corrupt rules, managers, detector, transport and
+  /// reply-routing state (tests / self-stabilization experiments).
+  void corrupt_state(Rng& rng, NodeId node_space);
+
+ private:
+  void control_tick();
+  void detect_tick();
+  void handle_batch(NodeId from, const proto::CommandBatch& batch);
+  void add_manager(NodeId k);
+  void del_manager(NodeId k);
+  /// Forward a transit packet using the rule table (fast-failover order),
+  /// falling back to direct hand-over when the destination is adjacent.
+  void forward_packet(const net::Packet& packet);
+  /// Route a locally originated frame toward `peer`.
+  void route_frame(NodeId peer, proto::Frame frame);
+
+  Config config_;
+  RuleTable rules_;
+  std::map<NodeId, std::uint64_t> managers_;  ///< manager -> LRU stamp
+  std::uint64_t manager_touch_ = 0;
+  std::uint64_t manager_evictions_ = 0;
+  detect::ThetaDetector detector_;
+  transport::Endpoint endpoint_;
+  std::map<NodeId, NodeId> last_port_;  ///< peer -> most recent in-port
+};
+
+}  // namespace ren::switchd

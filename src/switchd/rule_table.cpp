@@ -1,0 +1,265 @@
+#include "switchd/rule_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ren::switchd {
+
+namespace {
+
+std::uint64_t lookup_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+}  // namespace
+
+void RuleTable::new_round(NodeId cid, proto::Tag tag, int retention) {
+  OwnerEntry& e = owners_[cid];
+  e.retention = std::max(1, retention);
+  if (e.recent_tags.empty() || !(e.recent_tags.front() == tag)) {
+    e.recent_tags.push_front(tag);
+  }
+  e.touch = ++touch_counter_;
+  trim_to_retention(e);
+  invalidate_cache();
+}
+
+void RuleTable::update_rules(NodeId cid, proto::RuleListPtr rules,
+                             proto::Tag tag) {
+  OwnerEntry& e = owners_[cid];
+  if (std::find(e.recent_tags.begin(), e.recent_tags.end(), tag) ==
+      e.recent_tags.end()) {
+    e.recent_tags.push_front(tag);
+  }
+  bool replaced = false;
+  for (auto& tl : e.lists) {
+    if (tl.tag == tag) {
+      tl.rules = rules;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) e.lists.push_back(TaggedList{tag, std::move(rules)});
+  // Installing the current round's rules removes the oldest retained round
+  // (Section 6.2: installing currTag removes beforePrevTag; the base
+  // algorithm with retention 2 removes prevTag): live lists are the first
+  // retention-1 round tags plus the one just written.
+  const auto live_tags = static_cast<std::size_t>(
+      std::max(1, e.retention - 1));
+  std::erase_if(e.lists, [&](const TaggedList& tl) {
+    if (tl.tag == tag) return false;
+    const auto pos =
+        std::find(e.recent_tags.begin(), e.recent_tags.end(), tl.tag);
+    return pos == e.recent_tags.end() ||
+           static_cast<std::size_t>(pos - e.recent_tags.begin()) >= live_tags;
+  });
+  e.touch = ++touch_counter_;
+  trim_to_retention(e);
+  enforce_capacity();
+  invalidate_cache();
+}
+
+void RuleTable::del_all(NodeId cid) {
+  owners_.erase(cid);
+  invalidate_cache();
+}
+
+void RuleTable::clear() {
+  owners_.clear();
+  invalidate_cache();
+}
+
+void RuleTable::trim_to_retention(OwnerEntry& e) {
+  while (e.recent_tags.size() > static_cast<std::size_t>(e.retention)) {
+    e.recent_tags.pop_back();
+  }
+  std::erase_if(e.lists, [&e](const TaggedList& tl) {
+    return std::find(e.recent_tags.begin(), e.recent_tags.end(), tl.tag) ==
+           e.recent_tags.end();
+  });
+}
+
+void RuleTable::enforce_capacity() {
+  // Clogged memory: evict whole least-recently-updated owner entries until
+  // the total rule count fits (Section 2.1.1 eviction policy, at the
+  // granularity of our per-owner immutable lists).
+  while (total_rules() > config_.max_rules && owners_.size() > 1) {
+    auto victim = owners_.begin();
+    for (auto it = owners_.begin(); it != owners_.end(); ++it) {
+      if (it->second.touch < victim->second.touch) victim = it;
+    }
+    owners_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::optional<proto::Tag> RuleTable::meta_tag(NodeId cid) const {
+  auto it = owners_.find(cid);
+  if (it == owners_.end() || it->second.recent_tags.empty()) return std::nullopt;
+  return it->second.recent_tags.front();
+}
+
+bool RuleTable::has_rules_of(NodeId cid) const {
+  auto it = owners_.find(cid);
+  if (it == owners_.end()) return false;
+  for (const auto& tl : it->second.lists) {
+    if (tl.rules && !tl.rules->empty()) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> RuleTable::owners() const {
+  std::vector<NodeId> out;
+  out.reserve(owners_.size());
+  for (const auto& [cid, _] : owners_) out.push_back(cid);
+  return out;
+}
+
+std::vector<proto::RuleOwnerSummary> RuleTable::owners_summary() const {
+  std::vector<proto::RuleOwnerSummary> out;
+  for (const auto& [cid, e] : owners_) {
+    for (const auto& tl : e.lists) {
+      proto::RuleOwnerSummary s;
+      s.cid = cid;
+      s.tag = tl.tag;
+      s.count = tl.rules ? static_cast<std::uint32_t>(tl.rules->size()) : 0;
+      out.push_back(s);
+    }
+    if (e.lists.empty() && !e.recent_tags.empty()) {
+      // Meta rule only (newRound seen, no updateRule yet).
+      out.push_back(proto::RuleOwnerSummary{cid, e.recent_tags.front(), 0});
+    }
+  }
+  return out;
+}
+
+std::size_t RuleTable::total_rules() const {
+  std::size_t n = 0;
+  for (const auto& [cid, e] : owners_) {
+    for (const auto& tl : e.lists) {
+      if (tl.rules) n += tl.rules->size();
+    }
+  }
+  return n;
+}
+
+std::size_t RuleTable::rules_wire_bytes() const {
+  return total_rules() * proto::wire_size(proto::Rule{});
+}
+
+proto::RuleListPtr RuleTable::newest_rules_of(NodeId cid) const {
+  auto it = owners_.find(cid);
+  if (it == owners_.end()) return nullptr;
+  const OwnerEntry& e = it->second;
+  for (const proto::Tag& t : e.recent_tags) {  // front = newest
+    for (const auto& tl : e.lists) {
+      if (tl.tag == t && tl.rules) return tl.rules;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<Candidate>& RuleTable::candidates(NodeId src, NodeId dst) {
+  const std::uint64_t key = lookup_key(src, dst);
+  auto cached = lookup_cache_.find(key);
+  if (cached != lookup_cache_.end()) return cached->second;
+
+  std::vector<Candidate> cands;
+  for (const auto& [cid, e] : owners_) {
+    for (const auto& tl : e.lists) {
+      if (!tl.rules) continue;
+      const int rank = static_cast<int>(
+          std::find(e.recent_tags.begin(), e.recent_tags.end(), tl.tag) -
+          e.recent_tags.begin());
+      const proto::RuleList& rules = *tl.rules;
+      // Lists are sorted by (dest, src, -prt): binary-search the dest range,
+      // then scan it for matching src groups (exact src and wildcard src).
+      auto lo = std::lower_bound(
+          rules.begin(), rules.end(), dst,
+          [](const proto::Rule& r, NodeId d) { return r.dest < d; });
+      for (auto it = lo; it != rules.end() && it->dest == dst; ++it) {
+        if (!it->matches(src, dst)) continue;
+        cands.push_back(Candidate{it->fwd, it->prt, it->specificity(), rank,
+                                  cid});
+      }
+      // Wildcard-dest rules are not produced by the compiler but may exist
+      // after state corruption; include them for faithful recovery behavior.
+      auto wlo = std::lower_bound(
+          rules.begin(), rules.end(), kNoNode,
+          [](const proto::Rule& r, NodeId d) { return r.dest < d; });
+      for (auto it = wlo; it != rules.end() && it->dest == kNoNode; ++it) {
+        if (!it->matches(src, dst)) continue;
+        cands.push_back(Candidate{it->fwd, it->prt, it->specificity(), rank,
+                                  cid});
+      }
+    }
+  }
+  // Round freshness first: rules of an owner's *current* round always beat
+  // its older retained rounds — retained lists exist purely as failover
+  // while a reconfiguration rolls out (Section 6.2), and must never
+  // override fresh state (a corrupted old-tag rule could otherwise shadow
+  // the repair forever). Within a round: priority first (the paper: "the
+  // rule with the highest prt that matches"), specificity as tie-breaker.
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.tag_rank != b.tag_rank) return a.tag_rank < b.tag_rank;
+              if (a.prt != b.prt) return a.prt > b.prt;
+              if (a.specificity != b.specificity)
+                return a.specificity > b.specificity;
+              return a.cid < b.cid;
+            });
+  // Collapse duplicates (several controllers installing the same decision).
+  cands.erase(std::unique(cands.begin(), cands.end(),
+                          [](const Candidate& a, const Candidate& b) {
+                            return a.fwd == b.fwd && a.prt == b.prt &&
+                                   a.specificity == b.specificity;
+                          }),
+              cands.end());
+
+  // Bound the cache (flow pairs are few in practice; corruption could blow
+  // it up, so clamp hard).
+  if (lookup_cache_.size() > 65536) lookup_cache_.clear();
+  auto [it, _] = lookup_cache_.emplace(key, std::move(cands));
+  return it->second;
+}
+
+void RuleTable::corrupt(Rng& rng, NodeId node_space) {
+  // Model arbitrary state corruption: delete some owners entirely, rewrite
+  // some rules to random forward ports / matches, scramble tags.
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    if (rng.chance(0.3)) {
+      it = owners_.erase(it);
+      continue;
+    }
+    OwnerEntry& e = it->second;
+    for (auto& tl : e.lists) {
+      if (!tl.rules) continue;
+      if (rng.chance(0.5)) {
+        auto mutated = std::make_shared<proto::RuleList>(*tl.rules);
+        for (auto& r : *mutated) {
+          if (rng.chance(0.2)) {
+            r.fwd = static_cast<NodeId>(rng.next_below(
+                static_cast<std::uint64_t>(node_space)));
+          }
+          if (rng.chance(0.1)) {
+            r.dest = static_cast<NodeId>(rng.next_below(
+                static_cast<std::uint64_t>(node_space)));
+          }
+          if (rng.chance(0.05)) r.prt = static_cast<Priority>(rng.next_below(8));
+        }
+        tl.rules = std::move(mutated);
+      }
+      if (rng.chance(0.3)) {
+        tl.tag = proto::Tag{
+            static_cast<NodeId>(rng.next_below(
+                static_cast<std::uint64_t>(node_space))),
+            static_cast<std::uint32_t>(rng.next_below(proto::kTagDomain))};
+      }
+    }
+    ++it;
+  }
+  invalidate_cache();
+}
+
+}  // namespace ren::switchd

@@ -1,0 +1,98 @@
+// The abstract switch's rule storage (paper Section 2.1.1).
+//
+// Rules are stored per installing controller (owner) as immutable tagged
+// lists: `updateRule` replaces the owner's list for the current round tag;
+// `newRound` advances the owner's meta (round) tag and ages out lists whose
+// tag falls outside the retention window (2 tags = Algorithm 2's
+// currTag/prevTag scheme, 3 tags = the Section 6.2 evaluation variant that
+// keeps beforePrevTag rules alive during reconfigurations).
+//
+// Memory is bounded by maxRules; on overflow the table evicts the least
+// recently updated owner entry, the paper's clogged-memory policy. Lookup
+// returns an ordered candidate list for a (src, dst) header: higher match
+// specificity first, then higher priority, then fresher round tag. The
+// forwarding engine applies the first candidate whose out-port is
+// operational — OpenFlow fast-failover semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "proto/rule.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::switchd {
+
+/// One forwarding candidate produced by a lookup, pre-ordered.
+struct Candidate {
+  NodeId fwd = kNoNode;
+  Priority prt = 0;
+  int specificity = 0;
+  int tag_rank = 0;  ///< 0 = current round tag, 1 = previous, ...
+  NodeId cid = kNoNode;
+};
+
+class RuleTable {
+ public:
+  struct Config {
+    std::size_t max_rules = 1u << 20;  ///< clogged-memory bound
+  };
+
+  explicit RuleTable(Config config) : config_(config) {}
+
+  // --- Mutations (driven by controller commands) -------------------------
+  void new_round(NodeId cid, proto::Tag tag, int retention);
+  void update_rules(NodeId cid, proto::RuleListPtr rules, proto::Tag tag);
+  void del_all(NodeId cid);
+  void clear();
+
+  // --- Queries ----------------------------------------------------------
+  /// The owner's current round tag (the paper's meta-rule tag), if any.
+  [[nodiscard]] std::optional<proto::Tag> meta_tag(NodeId cid) const;
+  [[nodiscard]] bool has_rules_of(NodeId cid) const;
+  [[nodiscard]] std::vector<NodeId> owners() const;
+  [[nodiscard]] std::vector<proto::RuleOwnerSummary> owners_summary() const;
+  [[nodiscard]] std::size_t total_rules() const;
+  [[nodiscard]] std::size_t rules_wire_bytes() const;
+  /// The newest installed list of `cid` (for the legitimacy monitor).
+  [[nodiscard]] proto::RuleListPtr newest_rules_of(NodeId cid) const;
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Ordered forwarding candidates for a packet header; cached until the
+  /// next mutation. The returned reference is valid until then.
+  [[nodiscard]] const std::vector<Candidate>& candidates(NodeId src, NodeId dst);
+
+  /// Transient-fault hook: scramble stored rules (tests only). `node_space`
+  /// bounds the random ids written into corrupted entries.
+  void corrupt(Rng& rng, NodeId node_space);
+
+ private:
+  struct TaggedList {
+    proto::Tag tag;
+    proto::RuleListPtr rules;
+  };
+  struct OwnerEntry {
+    std::deque<proto::Tag> recent_tags;  ///< front = current round tag
+    std::vector<TaggedList> lists;
+    int retention = 2;
+    std::uint64_t touch = 0;  ///< LRU stamp
+  };
+
+  void trim_to_retention(OwnerEntry& e);
+  void enforce_capacity();
+  void invalidate_cache() { lookup_cache_.clear(); }
+
+  Config config_;
+  std::map<NodeId, OwnerEntry> owners_;
+  std::uint64_t touch_counter_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Candidate>> lookup_cache_;
+};
+
+}  // namespace ren::switchd

@@ -1,0 +1,6 @@
+// TagGenerator is header-only; this translation unit anchors the library.
+#include "tags/tag_generator.hpp"
+
+namespace ren::tags {
+// Intentionally empty.
+}  // namespace ren::tags

@@ -1,0 +1,46 @@
+// Bounded unique-tag generator (paper Section 4.2, after Alon et al. [20]).
+//
+// During a legal execution nextTag() returns a tag that exists nowhere else
+// in the system. A transient fault may corrupt the epoch counter; because the
+// domain is finite and each controller owns a disjoint namespace (tags carry
+// the owner id), uniqueness is re-established after at most Delta_synch
+// rounds once the corrupted value has been cycled past — which the
+// correctness argument of the paper absorbs into its Delta_synch bound.
+#pragma once
+
+#include "proto/tag.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::tags {
+
+class TagGenerator {
+ public:
+  explicit TagGenerator(NodeId owner, std::uint32_t start = 0)
+      : owner_(owner), epoch_(start % proto::kTagDomain) {}
+
+  [[nodiscard]] NodeId owner() const { return owner_; }
+
+  /// The most recently issued tag (kNullTag before the first next()).
+  [[nodiscard]] proto::Tag current() const { return current_; }
+
+  /// Issue the next tag in the bounded domain.
+  proto::Tag next() {
+    epoch_ = (epoch_ + 1) % proto::kTagDomain;
+    current_ = proto::Tag{owner_, epoch_};
+    return current_;
+  }
+
+  /// Transient-fault hook: scramble the generator state (tests only).
+  void corrupt(Rng& rng) {
+    epoch_ = static_cast<std::uint32_t>(rng.next_below(proto::kTagDomain));
+    current_ = proto::Tag{owner_, epoch_};
+  }
+
+ private:
+  NodeId owner_;
+  std::uint32_t epoch_;
+  proto::Tag current_ = proto::kNullTag;
+};
+
+}  // namespace ren::tags

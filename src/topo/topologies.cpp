@@ -1,0 +1,130 @@
+#include "topo/topologies.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ren::topo {
+
+Topology make_b4() {
+  // Reconstruction of Google's 12-site B4 WAN (SIGCOMM'13, Fig. 1): two
+  // hemispheric rings bridged by long-haul links. Tuned so that the graph
+  // has 12 nodes, 19 links, diameter 5 and is 2-edge-connected, matching
+  // the statistics the paper reports (Table 8).
+  Topology t;
+  t.name = "B4";
+  t.expected_diameter = 5;
+  flows::Graph g(12);
+  const std::pair<int, int> edges[] = {
+      {0, 1}, {0, 2},  {1, 2},  {1, 3},  {2, 3},   {3, 4},  {3, 5},
+      {4, 5}, {4, 6},  {5, 7},  {6, 7},  {6, 8},   {7, 9},  {8, 9},
+      {8, 10}, {9, 11}, {10, 11}, {2, 4}, {2, 5},
+  };
+  for (auto [a, b] : edges) g.add_edge(a, b);
+  t.switch_graph = std::move(g);
+  return t;
+}
+
+Topology make_clos() {
+  // 3-stage Clos / k=4 fat-tree: 8 edge + 8 aggregation + 4 core = 20
+  // switches, diameter 4 (edge-agg-core-agg-edge), 2-edge-connected.
+  Topology t;
+  t.name = "Clos";
+  t.expected_diameter = 4;
+  flows::Graph g(20);
+  // ids: edge 0..7, aggregation 8..15, core 16..19; pods p = 0..3 own
+  // edges {2p, 2p+1} and aggs {8+2p, 8+2p+1}.
+  for (int p = 0; p < 4; ++p) {
+    const int e0 = 2 * p, e1 = 2 * p + 1;
+    const int a0 = 8 + 2 * p, a1 = 8 + 2 * p + 1;
+    g.add_edge(e0, a0);
+    g.add_edge(e0, a1);
+    g.add_edge(e1, a0);
+    g.add_edge(e1, a1);
+    g.add_edge(a0, 16);
+    g.add_edge(a0, 17);
+    g.add_edge(a1, 18);
+    g.add_edge(a1, 19);
+  }
+  t.switch_graph = std::move(g);
+  return t;
+}
+
+Topology make_isp(const std::string& name, int nodes, int diameter,
+                  std::uint64_t seed) {
+  if (nodes < 2 * diameter + 1) {
+    // Need diameter+1 hubs plus at least one bridging leaf per hub segment.
+    throw std::invalid_argument("make_isp: nodes too few for diameter");
+  }
+  // Backbone: a path of L = diameter+1 hubs fixes the diameter at
+  // (L-1) = diameter via the dual-homed leaves (see below); leaves attach to
+  // two consecutive hubs, which (a) preserves all backbone distances and
+  // (b) makes every edge lie on a cycle => 2-edge-connected.
+  Topology t;
+  t.name = name;
+  t.expected_diameter = diameter;
+  const int hubs = diameter + 1;
+  const int leaves = nodes - hubs;
+  flows::Graph g(nodes);
+  for (int h = 0; h + 1 < hubs; ++h) g.add_edge(h, h + 1);
+
+  // Center-heavy leaf distribution (ISP-like degree mix), deterministic.
+  Rng rng(seed);
+  std::vector<int> weight(static_cast<std::size_t>(hubs - 1));
+  int total = 0;
+  for (int i = 0; i + 1 < hubs; ++i) {
+    const int centrality = std::min(i, hubs - 2 - i) + 1;
+    weight[static_cast<std::size_t>(i)] = centrality;
+    total += centrality;
+  }
+  // Every hub segment gets at least one bridging leaf (keeps the backbone
+  // 2-edge-connected); the rest are drawn from the weighted distribution.
+  std::vector<int> segment_of_leaf;
+  segment_of_leaf.reserve(static_cast<std::size_t>(leaves));
+  for (int s = 0; s + 1 < hubs && static_cast<int>(segment_of_leaf.size()) < leaves;
+       ++s) {
+    segment_of_leaf.push_back(s);
+  }
+  while (static_cast<int>(segment_of_leaf.size()) < leaves) {
+    auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(total)));
+    int seg = 0;
+    while (pick >= weight[static_cast<std::size_t>(seg)]) {
+      pick -= weight[static_cast<std::size_t>(seg)];
+      ++seg;
+    }
+    segment_of_leaf.push_back(seg);
+  }
+  for (int l = 0; l < leaves; ++l) {
+    const int id = hubs + l;
+    const int seg = segment_of_leaf[static_cast<std::size_t>(l)];
+    g.add_edge(id, seg);
+    g.add_edge(id, seg + 1);
+  }
+  t.switch_graph = std::move(g);
+  return t;
+}
+
+Topology make_telstra() { return make_isp("Telstra", 57, 8, 0x7e157a); }
+Topology make_att() { return make_isp("ATT", 172, 10, 0xa77); }
+Topology make_ebone() { return make_isp("EBONE", 208, 11, 0xeb0e); }
+
+Topology by_name(const std::string& name) {
+  if (name == "B4") return make_b4();
+  if (name == "Clos") return make_clos();
+  if (name == "Telstra") return make_telstra();
+  if (name == "ATT" || name == "AT&T") return make_att();
+  if (name == "EBONE" || name == "Ebone") return make_ebone();
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+std::vector<Topology> paper_topologies() {
+  std::vector<Topology> out;
+  out.push_back(make_b4());
+  out.push_back(make_clos());
+  out.push_back(make_telstra());
+  out.push_back(make_att());
+  out.push_back(make_ebone());
+  return out;
+}
+
+}  // namespace ren::topo

@@ -1,0 +1,46 @@
+// The evaluation topologies (paper Section 6.3, Table/Fig. 8):
+//   B4      12 nodes, diameter 5  — Google's SDN WAN (reconstructed graph)
+//   Clos    20 nodes, diameter 4  — 3-stage fat-tree (k=4)
+//   Telstra 57 nodes, diameter 8  — Rocketfuel 1221 (synthetic stand-in)
+//   AT&T   172 nodes, diameter 10 — Rocketfuel 7018 (synthetic stand-in)
+//   EBONE  208 nodes, diameter 11 — Rocketfuel 1755 (synthetic stand-in)
+//
+// The Rocketfuel data files are not redistributable offline, so the three
+// ISP networks are generated deterministically: a hub backbone path sets the
+// exact diameter, dual-homed leaf routers make the graph 2-edge-connected,
+// and a seeded RNG distributes leaves center-heavy (ISP-like degree mix).
+// Node counts and diameters match Table 8 exactly and are verified in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flows/graph.hpp"
+
+namespace ren::topo {
+
+struct Topology {
+  std::string name;
+  flows::Graph switch_graph;  ///< switches only, ids 0..n-1
+  int expected_diameter = 0;
+};
+
+Topology make_b4();
+Topology make_clos();
+Topology make_telstra();
+Topology make_att();
+Topology make_ebone();
+
+/// Deterministic ISP-like generator: exact `nodes` count, exact `diameter`,
+/// 2-edge-connected. Requires nodes >= 2*diameter.
+Topology make_isp(const std::string& name, int nodes, int diameter,
+                  std::uint64_t seed);
+
+/// Lookup by the names used in the paper: "B4", "Clos", "Telstra", "ATT",
+/// "EBONE". Throws std::invalid_argument for unknown names.
+Topology by_name(const std::string& name);
+
+/// All five paper topologies, in Table 8 order.
+std::vector<Topology> paper_topologies();
+
+}  // namespace ren::topo

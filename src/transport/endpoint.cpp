@@ -1,0 +1,104 @@
+#include "transport/endpoint.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace ren::transport {
+
+Endpoint::Endpoint(NodeId self, Config config, Hooks hooks)
+    : self_(self), config_(config), hooks_(std::move(hooks)) {}
+
+void Endpoint::submit(NodeId peer, proto::Message message) {
+  auto ptr = std::make_shared<const proto::Message>(std::move(message));
+  SendSession& s = send_[peer];
+  if (!s.inflight || config_.supersede_inflight) {
+    begin_transmission(peer, s, std::move(ptr));
+  } else {
+    s.next = std::move(ptr);  // supersede any queued message
+  }
+}
+
+void Endpoint::begin_transmission(NodeId peer, SendSession& s,
+                                  proto::MessagePtr msg) {
+  s.label = (s.label + 1) % config_.label_domain;
+  s.inflight = std::move(msg);
+  if (hooks_.on_new_message) hooks_.on_new_message(peer);
+  transmit(peer, s);
+}
+
+void Endpoint::transmit(NodeId peer, const SendSession& s) {
+  proto::Frame f;
+  f.kind = proto::FrameKind::Act;
+  f.label = s.label;
+  f.payload = s.inflight;
+  hooks_.send_frame(peer, std::move(f));
+}
+
+void Endpoint::on_frame(NodeId peer, const proto::Frame& frame) {
+  if (frame.kind == proto::FrameKind::Act) {
+    // Always acknowledge; deliver only fresh labels.
+    proto::Frame ack;
+    ack.kind = proto::FrameKind::Ack;
+    ack.label = frame.label;
+    hooks_.send_frame(peer, std::move(ack));
+
+    RecvSession& r = recv_[peer];
+    if (!r.delivered_any || r.last_label != frame.label) {
+      r.last_label = frame.label;
+      r.delivered_any = true;
+      if (frame.payload && hooks_.deliver) hooks_.deliver(peer, frame.payload);
+    }
+    return;
+  }
+  // Ack: completes the round-trip for the current label only.
+  auto it = send_.find(peer);
+  if (it == send_.end()) return;
+  SendSession& s = it->second;
+  if (s.inflight && frame.label == s.label) {
+    s.inflight.reset();
+    if (s.next) {
+      proto::MessagePtr next = std::move(s.next);
+      s.next.reset();
+      begin_transmission(peer, s, std::move(next));
+    }
+  }
+}
+
+void Endpoint::tick() {
+  for (auto& [peer, s] : send_) {
+    if (s.inflight) {
+      ++retransmissions_;
+      transmit(peer, s);
+    }
+  }
+}
+
+void Endpoint::retain_only(const std::set<NodeId>& keep) {
+  for (auto it = send_.begin(); it != send_.end();) {
+    it = keep.count(it->first) ? std::next(it) : send_.erase(it);
+  }
+  for (auto it = recv_.begin(); it != recv_.end();) {
+    it = keep.count(it->first) ? std::next(it) : recv_.erase(it);
+  }
+  // Hard bound, even if the caller's keep-set is oversized.
+  while (send_.size() > config_.max_sessions) send_.erase(send_.begin());
+  while (recv_.size() > config_.max_sessions) recv_.erase(recv_.begin());
+}
+
+bool Endpoint::idle(NodeId peer) const {
+  auto it = send_.find(peer);
+  return it == send_.end() || !it->second.inflight;
+}
+
+void Endpoint::corrupt(Rng& rng) {
+  for (auto& [peer, s] : send_) {
+    s.label = static_cast<std::uint32_t>(rng.next_below(config_.label_domain));
+    if (rng.chance(0.5)) s.inflight.reset();
+  }
+  for (auto& [peer, r] : recv_) {
+    r.last_label = static_cast<std::uint32_t>(rng.next_below(config_.label_domain));
+    r.delivered_any = rng.chance(0.5);
+  }
+}
+
+}  // namespace ren::transport

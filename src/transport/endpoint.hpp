@@ -1,0 +1,128 @@
+// Self-stabilizing end-to-end transport (paper Section 3.1).
+//
+// Implements the token-circulation protocol of the communication-channel
+// model: per directed session (sender -> receiver) a single frame
+// pkt in {act, ack} is logically in transit. The sender retransmits the
+// current Act frame (bounded label l) on every timer tick until the matching
+// Ack(l) arrives, then advances to the next label; the receiver delivers a
+// frame when its label differs from the last delivered label and always
+// acknowledges. Starting from an arbitrary state (corrupted labels, stale
+// frames in channels) the session re-synchronizes after a bounded number of
+// spurious deliveries / false acknowledgments (the paper's Delta_comm <= 3).
+//
+// Senders keep a single-slot outbox per peer: submitting a new message while
+// one is in flight replaces the *next* message. This bounds memory (a
+// self-stabilization requirement) and matches Renaissance's semantics, where
+// every command batch/query reply supersedes the previous one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "proto/payload.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::transport {
+
+struct Config {
+  std::uint32_t label_domain = 1u << 16;  ///< bounded label space
+  std::size_t max_sessions = 4096;        ///< bound on per-node session state
+  /// When true (Renaissance semantics), submitting a new message replaces
+  /// an unacknowledged in-flight one: every batch/reply carries the full
+  /// refreshed state, so the newest message always supersedes. This is what
+  /// keeps the channel live while the in-band return path is still broken —
+  /// a repair batch must not queue behind an unackable predecessor. When
+  /// false, classic stop-and-wait: a new message waits for the current ack.
+  bool supersede_inflight = true;
+};
+
+class Endpoint {
+ public:
+  struct Hooks {
+    /// Route and transmit one raw frame toward `peer` (in-band!).
+    std::function<void(NodeId peer, proto::Frame frame)> send_frame;
+    /// Upcall with a delivered application message.
+    std::function<void(NodeId peer, proto::MessagePtr message)> deliver;
+    /// Invoked once per *new* outbound message (not per retransmission);
+    /// feeds the Fig. 9 communication-overhead accounting.
+    std::function<void(NodeId peer)> on_new_message;
+  };
+
+  Endpoint(NodeId self, Config config, Hooks hooks);
+
+  /// Queue `message` for reliable delivery to `peer`, superseding any
+  /// not-yet-started message to the same peer.
+  void submit(NodeId peer, proto::Message message);
+
+  /// Handle an incoming frame that originated at `peer`.
+  void on_frame(NodeId peer, const proto::Frame& frame);
+
+  /// Retransmit all unacknowledged Act frames (call on the node's timer).
+  void tick();
+
+  /// Drop session state for peers outside `keep` (bounds memory while the
+  /// reachable set shrinks); the algorithm re-creates sessions on demand.
+  void retain_only(const std::set<NodeId>& keep);
+
+  [[nodiscard]] bool idle(NodeId peer) const;
+  [[nodiscard]] std::size_t session_count() const {
+    return send_.size() + recv_.size();
+  }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+  /// Debug/test introspection of a send session toward `peer`.
+  struct SessionDebug {
+    bool exists = false;
+    bool inflight = false;
+    bool has_next = false;
+    std::uint32_t label = 0;
+  };
+  [[nodiscard]] SessionDebug debug_send_session(NodeId peer) const {
+    SessionDebug d;
+    auto it = send_.find(peer);
+    if (it == send_.end()) return d;
+    d.exists = true;
+    d.inflight = it->second.inflight != nullptr;
+    d.has_next = it->second.next != nullptr;
+    d.label = it->second.label;
+    return d;
+  }
+  [[nodiscard]] SessionDebug debug_recv_session(NodeId peer) const {
+    SessionDebug d;
+    auto it = recv_.find(peer);
+    if (it == recv_.end()) return d;
+    d.exists = true;
+    d.inflight = it->second.delivered_any;
+    d.label = it->second.last_label;
+    return d;
+  }
+
+  /// Transient-fault hook: scramble labels and in-flight slots (tests only).
+  void corrupt(Rng& rng);
+
+ private:
+  struct SendSession {
+    std::uint32_t label = 0;
+    proto::MessagePtr inflight;  ///< current Act payload awaiting Ack
+    proto::MessagePtr next;      ///< superseding message, if any
+  };
+  struct RecvSession {
+    std::uint32_t last_label = 0;
+    bool delivered_any = false;
+  };
+
+  void begin_transmission(NodeId peer, SendSession& s, proto::MessagePtr msg);
+  void transmit(NodeId peer, const SendSession& s);
+
+  NodeId self_;
+  Config config_;
+  Hooks hooks_;
+  std::unordered_map<NodeId, SendSession> send_;
+  std::unordered_map<NodeId, RecvSession> recv_;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace ren::transport

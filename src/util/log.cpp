@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+
+namespace ren {
+
+namespace {
+LogLevel g_level = LogLevel::None;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  const char* prefix = "";
+  switch (level) {
+    case LogLevel::Error: prefix = "[error] "; break;
+    case LogLevel::Info: prefix = "[info ] "; break;
+    case LogLevel::Debug: prefix = "[debug] "; break;
+    case LogLevel::Trace: prefix = "[trace] "; break;
+    case LogLevel::None: return;
+  }
+  std::fputs(prefix, stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace ren

@@ -1,0 +1,41 @@
+// Fundamental value types shared across all Renaissance subsystems.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ren {
+
+/// Identifier of a node (controller, switch, or host) in the network.
+/// Node ids are dense: 0..N-1. kNoNode marks "no node" / wildcard.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Simulated time in microseconds since the start of the run.
+using Time = std::int64_t;
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/// Convenience constructors for simulated durations.
+constexpr Time usec(std::int64_t v) { return v; }
+constexpr Time msec(std::int64_t v) { return v * 1000; }
+constexpr Time sec(std::int64_t v) { return v * 1000 * 1000; }
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Rule priority. Higher value = higher priority (the paper's `prt`).
+using Priority = std::int32_t;
+
+/// Kind of a node. The paper partitions P into P_C (controllers) and
+/// P_S (switches); hosts exist only at the data-plane edge (Section 2).
+enum class NodeKind : std::uint8_t { Switch, Controller, Host };
+
+inline const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::Switch: return "switch";
+    case NodeKind::Controller: return "controller";
+    case NodeKind::Host: return "host";
+  }
+  return "?";
+}
+
+}  // namespace ren

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "net/event_queue.hpp"
+
+namespace ren::net {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  Time seen = -1;
+  q.schedule_at(100, [&] {});
+  q.step();
+  q.schedule_at(50, [&, t = &seen] { *t = q.now(); });  // in the past
+  q.step();
+  EXPECT_EQ(seen, 100);  // executed at now, not before
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] {
+    ++fired;
+    q.schedule_at(2, [&] { ++fired; });
+  });
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, NextTimeAndEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  q.schedule_at(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  EXPECT_FALSE(q.empty());
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+}  // namespace
+}  // namespace ren::net

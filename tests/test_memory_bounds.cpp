@@ -1,0 +1,126 @@
+// Memory and message-size bounds (paper Lemmas 1-3, memory adaptiveness).
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace ren::sim {
+namespace {
+
+using ren::testing::bootstrap_or_fail;
+using ren::testing::fast_config;
+
+TEST(MemoryBounds, SwitchRulesStayUnderLemma1Bound) {
+  auto cfg = fast_config("Clos", 3);
+  Experiment exp(cfg);
+  bootstrap_or_fail(exp);
+  exp.sim().run_until(exp.sim().now() + sec(2));
+  const std::size_t n_c = exp.controller_count();
+  const std::size_t n_nodes = 20 + n_c;
+  const auto nprt = static_cast<std::size_t>(cfg.kappa) + 3;
+  // Lemma 1: maxRules >= N_C * (N_C + N_S - 1) * n_prt suffices. With the
+  // 3-round retention of the evaluation variant, triple it.
+  const std::size_t bound = 3 * n_c * (n_nodes - 1) * nprt;
+  for (auto* s : exp.switches()) {
+    EXPECT_LE(s->rule_table().total_rules(), bound)
+        << "switch " << s->id();
+  }
+}
+
+TEST(MemoryBounds, ReplyDbStaysUnderLemma2Bound) {
+  auto cfg = fast_config("Telstra", 5);
+  Experiment exp(cfg);
+  bootstrap_or_fail(exp);
+  exp.sim().run_until(exp.sim().now() + sec(2));
+  const std::size_t bound = 2 * (57 + 5);  // 2(N_C + N_S)
+  for (std::size_t k = 0; k < exp.controller_count(); ++k) {
+    EXPECT_LE(exp.controller(k).reply_db().size(), bound);
+    EXPECT_EQ(exp.controller(k).c_resets(), 0u)
+        << "C-resets must not happen with adequate maxReplies";
+  }
+}
+
+TEST(MemoryBounds, MemoryAdaptivenessAfterControllerDeath) {
+  // Memory adaptiveness: after recovery, per-node memory tracks the ACTUAL
+  // number of controllers n_C, not the upper bound N_C.
+  auto cfg = fast_config("B4", 5);
+  Experiment exp(cfg);
+  bootstrap_or_fail(exp);
+  std::size_t rules_with_5 = 0;
+  for (auto* s : exp.switches()) rules_with_5 += s->rule_table().total_rules();
+
+  auto cp = exp.control_plane();
+  faults::kill_random_controllers(cp, exp.fault_rng(), 3);
+  bootstrap_or_fail(exp);
+  exp.sim().run_until(exp.sim().now() + sec(1));
+  std::size_t rules_with_2 = 0;
+  for (auto* s : exp.switches()) rules_with_2 += s->rule_table().total_rules();
+  EXPECT_LT(rules_with_2, rules_with_5)
+      << "rule memory must shrink with the controller count";
+  for (auto* s : exp.switches()) {
+    EXPECT_EQ(s->managers().size(), 2u);
+    EXPECT_EQ(s->rule_table().owners().size(), 2u);
+  }
+}
+
+TEST(MemoryBounds, NonAdaptiveVariantKeepsDeadControllersState) {
+  // The Section 8.1 trade-off: without active deletions, stale owners
+  // survive until switch-side eviction — memory cost up to N_C/n_C higher.
+  auto cfg = fast_config("B4", 4);
+  cfg.memory_adaptive = false;
+  Experiment exp(cfg);
+  exp.sim().run_until(sec(10));
+  auto cp = exp.control_plane();
+  faults::kill_random_controllers(cp, exp.fault_rng(), 2);
+  exp.sim().run_until(exp.sim().now() + sec(5));
+  std::size_t max_owners = 0;
+  for (auto* s : exp.switches()) {
+    max_owners = std::max(max_owners, s->rule_table().owners().size());
+  }
+  EXPECT_GT(max_owners, 2u) << "dead controllers' rules were deleted, but "
+                               "this variant must retain them";
+}
+
+TEST(MemoryBounds, CloggedSwitchMemoryEvictsButSystemSurvives) {
+  auto cfg = fast_config("B4", 3);
+  cfg.max_rules = 60;  // far below what three controllers need
+  Experiment exp(cfg);
+  exp.sim().run_until(sec(10));
+  std::uint64_t evictions = 0;
+  for (auto* s : exp.switches()) evictions += s->rule_table().evictions();
+  EXPECT_GT(evictions, 0u);
+  // The system cannot be fully legitimate, but it must remain live:
+  // controllers keep iterating and no crash occurs.
+  for (std::size_t k = 0; k < exp.controller_count(); ++k) {
+    EXPECT_GT(exp.controller(k).stats().iterations, 50u);
+  }
+}
+
+TEST(MemoryBounds, ControlMessageSizesAreBounded) {
+  // Lemma 3 flavor: the biggest control message is O(maxRules * logN) —
+  // concretely, bounded by the full rule set for one switch plus framing.
+  auto cfg = fast_config("EBONE", 3);
+  Experiment exp(cfg);
+  bootstrap_or_fail(exp, sec(120));
+  const auto& c = exp.sim().counters();
+  const std::size_t rule_bytes = proto::wire_size(proto::Rule{});
+  const std::size_t bound =
+      (208 + 3) * 2 * static_cast<std::size_t>(cfg.kappa + 1) * rule_bytes * 3 +
+      4096;
+  EXPECT_GT(c.max_control_message_bytes, 0u);
+  EXPECT_LE(c.max_control_message_bytes, bound);
+}
+
+TEST(MemoryBounds, TransportSessionsAreBounded) {
+  auto cfg = fast_config("Clos", 2);
+  Experiment exp(cfg);
+  bootstrap_or_fail(exp);
+  exp.sim().run_until(exp.sim().now() + sec(2));
+  // Sessions: at most one send + one recv per peer.
+  const std::size_t peers = 20 + 2;
+  for (std::size_t k = 0; k < exp.controller_count(); ++k) {
+    EXPECT_LE(exp.controller(k).endpoint().session_count(), 2 * peers);
+  }
+}
+
+}  // namespace
+}  // namespace ren::sim

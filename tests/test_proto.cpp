@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "proto/payload.hpp"
+
+namespace ren::proto {
+namespace {
+
+TEST(Rule, MatchingSemantics) {
+  Rule exact{1, 2, 3, 4, 5, 6};
+  EXPECT_TRUE(exact.matches(3, 4));
+  EXPECT_FALSE(exact.matches(3, 5));
+  EXPECT_FALSE(exact.matches(9, 4));
+
+  Rule wild_src{1, 2, kNoNode, 4, 5, 6};
+  EXPECT_TRUE(wild_src.matches(3, 4));
+  EXPECT_TRUE(wild_src.matches(99, 4));
+  EXPECT_FALSE(wild_src.matches(3, 5));
+
+  Rule wild_both{1, 2, kNoNode, kNoNode, 5, 6};
+  EXPECT_TRUE(wild_both.matches(7, 8));
+}
+
+TEST(Rule, SpecificityCountsExactFields) {
+  EXPECT_EQ((Rule{1, 2, 3, 4, 5, 6}).specificity(), 2);
+  EXPECT_EQ((Rule{1, 2, kNoNode, 4, 5, 6}).specificity(), 1);
+  EXPECT_EQ((Rule{1, 2, kNoNode, kNoNode, 5, 6}).specificity(), 0);
+}
+
+TEST(WireSize, UpdateRuleDominatedByRuleCount) {
+  auto small = std::make_shared<RuleList>(10, Rule{});
+  auto big = std::make_shared<RuleList>(1000, Rule{});
+  const auto s1 = wire_size(Command{UpdateRuleCmd{small, Tag{}}});
+  const auto s2 = wire_size(Command{UpdateRuleCmd{big, Tag{}}});
+  EXPECT_GT(s2, s1 * 50);
+  EXPECT_EQ(s2 - 12, 1000 * wire_size(Rule{}));
+}
+
+TEST(WireSize, BatchSumsItsCommands) {
+  CommandBatch b;
+  b.commands.push_back(NewRoundCmd{Tag{1, 2}, 3});
+  b.commands.push_back(QueryCmd{Tag{1, 2}});
+  EXPECT_EQ(wire_size(b), 8u + 12u + 12u);
+}
+
+TEST(WireSize, QueryReplyAccountsFullRuleBytes) {
+  QueryReply r;
+  r.nc = {1, 2, 3};
+  r.managers = {9};
+  r.rules_wire_bytes = 5000;  // as if the full rules were encoded
+  EXPECT_EQ(wire_size(r), 24u + 4 * 4u + 5000u);
+}
+
+TEST(WireSize, FramesAddFixedOverhead) {
+  QueryReply r;
+  r.rules_wire_bytes = 100;
+  const auto msg_size = wire_size(Message{r});
+  Frame f;
+  f.kind = FrameKind::Act;
+  f.payload = std::make_shared<const Message>(Message{r});
+  EXPECT_EQ(wire_size(Payload{f}), 16 + msg_size);
+  Frame ack;
+  ack.kind = FrameKind::Ack;
+  EXPECT_EQ(wire_size(Payload{ack}), 16u);
+}
+
+TEST(WireSize, SegmentsCarryPayloadPlusHeader) {
+  Segment s;
+  s.len = 1460;
+  EXPECT_EQ(wire_size(Payload{s}), 1500u);
+  Segment pure_ack;
+  pure_ack.is_ack = true;
+  EXPECT_EQ(wire_size(Payload{pure_ack}), 40u);
+}
+
+TEST(Messages, VariantRoundTrips) {
+  CommandBatch b;
+  b.from = 7;
+  b.commands = {AddMngrCmd{7}, DelAllRulesCmd{9}, QueryCmd{Tag{7, 3}}};
+  Message m{b};
+  const auto* back = std::get_if<CommandBatch>(&m);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->from, 7);
+  ASSERT_EQ(back->commands.size(), 3u);
+  EXPECT_NE(std::get_if<AddMngrCmd>(&back->commands[0]), nullptr);
+  EXPECT_EQ(std::get_if<DelAllRulesCmd>(&back->commands[1])->k, 9);
+}
+
+}  // namespace
+}  // namespace ren::proto

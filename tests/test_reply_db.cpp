@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/reply_db.hpp"
+
+namespace ren::core {
+namespace {
+
+proto::QueryReply reply(NodeId id, std::uint32_t epoch = 1) {
+  proto::QueryReply r;
+  r.id = id;
+  r.tag_for_querier = proto::Tag{0, epoch};
+  return r;
+}
+
+TEST(ReplyDb, StoreReplacesById) {
+  ReplyDb db({8, true});
+  db.store(reply(1, 1));
+  db.store(reply(1, 2));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.find(1)->tag_for_querier.epoch, 2u);
+}
+
+TEST(ReplyDb, CResetDropsEverything) {
+  ReplyDb db({3, true});
+  db.store(reply(1));
+  db.store(reply(2));
+  db.store(reply(3));
+  EXPECT_FALSE(db.make_room(2));  // existing id: no growth, no reset
+  EXPECT_TRUE(db.make_room(4));   // would exceed: C-reset
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.c_resets(), 1u);
+}
+
+TEST(ReplyDb, LruModeEvictsOldestInsteadOfResetting) {
+  ReplyDb db({3, false});
+  db.store(reply(1));
+  db.store(reply(2));
+  db.store(reply(3));
+  EXPECT_FALSE(db.make_room(4));
+  db.store(reply(4));
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.find(1), nullptr);  // oldest evicted
+  EXPECT_NE(db.find(4), nullptr);
+  EXPECT_EQ(db.c_resets(), 0u);
+}
+
+TEST(ReplyDb, LruOrderFollowsReinsertion) {
+  ReplyDb db({3, false});
+  db.store(reply(1));
+  db.store(reply(2));
+  db.store(reply(3));
+  db.store(reply(1, 9));  // refresh 1: now 2 is the oldest
+  (void)db.make_room(4);
+  db.store(reply(4));
+  EXPECT_NE(db.find(1), nullptr);
+  EXPECT_EQ(db.find(2), nullptr);
+}
+
+TEST(ReplyDb, EraseIfFilters) {
+  ReplyDb db({8, true});
+  for (NodeId i = 1; i <= 5; ++i) db.store(reply(i, static_cast<std::uint32_t>(i)));
+  db.erase_if([](const proto::QueryReply& r) {
+    return r.tag_for_querier.epoch % 2 == 0;
+  });
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_NE(db.find(1), nullptr);
+  EXPECT_EQ(db.find(2), nullptr);
+}
+
+TEST(ReplyDb, CorruptionAddsBoundedGarbage) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ReplyDb db({64, true});
+    for (NodeId i = 1; i <= 5; ++i) db.store(reply(i));
+    Rng rng(seed);
+    db.corrupt(rng, 32);
+    EXPECT_LE(db.size(), 5u + 4u);  // at most a few fabricated entries
+  }
+}
+
+}  // namespace
+}  // namespace ren::core

@@ -1,0 +1,196 @@
+// kappa-fault-resilience of the *installed* flows: after bootstrap, data
+// and control paths survive link failures without any controller action
+// (paper Section 2.2.2; Lemma 7's no-packet-loss regime).
+#include <gtest/gtest.h>
+
+#include "flows/resilient_paths.hpp"
+#include "test_helpers.hpp"
+
+namespace ren::sim {
+namespace {
+
+using ren::testing::bootstrap_or_fail;
+using ren::testing::fast_config;
+
+/// Walks c -> dst over the real switch tables with current link states.
+bool walk_ok(Experiment& exp, core::Controller& c, NodeId dst) {
+  std::map<NodeId, switchd::AbstractSwitch*> by_id;
+  for (auto* s : exp.switches()) {
+    if (s->alive()) by_id[s->id()] = s;
+  }
+  auto next_hop = [&](NodeId at, NodeId src,
+                      NodeId dst2) -> std::optional<NodeId> {
+    auto it = by_id.find(at);
+    if (it == by_id.end()) return std::nullopt;
+    for (const auto& cand : it->second->rule_table().candidates(src, dst2)) {
+      if (exp.sim().network().link_operational(at, cand.fwd)) return cand.fwd;
+    }
+    if (exp.sim().network().link_operational(at, dst2)) return dst2;
+    return std::nullopt;
+  };
+  auto link_up = [&](NodeId a, NodeId b) {
+    return exp.sim().network().link_operational(a, b);
+  };
+  std::vector<NodeId> first;
+  if (exp.sim().network().link_operational(c.id(), dst)) {
+    first = {dst};
+  } else if (const auto f = c.current_flows()) {
+    auto it = f->first_hops.find(dst);
+    if (it != f->first_hops.end()) first = it->second;
+  }
+  return flows::rule_walk(c.id(), dst, first, next_hop, link_up,
+                          4 * static_cast<int>(exp.sim().node_count()))
+      .delivered;
+}
+
+TEST(Resilience, SourceSideFailoverCoversEveryAttachLinkLoss) {
+  // The controller's own first-hop list is its local fast-failover group:
+  // any single attach link can die and it still reaches everything.
+  Experiment exp(fast_config("Clos", 1, 2, 5));
+  bootstrap_or_fail(exp);
+  auto& c = exp.controller(0);
+  const auto ports = exp.sim().network().adjacency(c.id());
+  ASSERT_GE(ports.size(), 2u);
+  for (const auto& e : ports) {
+    auto* link = exp.sim().network().find_link(c.id(), e.neighbor);
+    link->set_state(net::LinkState::TransientDown);
+    int reached = 0, total = 0;
+    for (auto* s : exp.switches()) {
+      ++total;
+      reached += walk_ok(exp, c, s->id()) ? 1 : 0;
+    }
+    EXPECT_EQ(reached, total) << "attach link to " << e.neighbor << " down";
+    link->set_state(net::LinkState::Up);
+  }
+}
+
+TEST(Resilience, FlowsSurviveManySingleLinkFailuresWithoutControl) {
+  // Exhaustive over all fabric links on Clos (kappa=1): for each single
+  // failure, count destination reachability from the controller using the
+  // frozen (pre-failure) rules only. The disjoint-path construction keeps
+  // the overwhelming majority of flows alive; the controller repairs the
+  // rest within O(D) (covered by Recovery tests).
+  Experiment exp(fast_config("Clos", 1, 1, 6));
+  bootstrap_or_fail(exp);
+  auto& c = exp.controller(0);
+  exp.controller(0).set_frozen(true);  // no recomputation during the sweep
+
+  const auto& net = exp.sim().network();
+  int total_checks = 0, reached = 0;
+  for (std::size_t li = 0; li < net.link_count(); ++li) {
+    auto& link = exp.sim().network().link(static_cast<int>(li));
+    if (link.a() >= 20 || link.b() >= 20) continue;  // fabric links only
+    link.set_state(net::LinkState::TransientDown);
+    for (auto* s : exp.switches()) {
+      ++total_checks;
+      reached += walk_ok(exp, c, s->id()) ? 1 : 0;
+    }
+    link.set_state(net::LinkState::Up);
+  }
+  ASSERT_GT(total_checks, 0);
+  const double survival =
+      static_cast<double>(reached) / static_cast<double>(total_checks);
+  EXPECT_GT(survival, 0.95) << reached << "/" << total_checks;
+}
+
+TEST(Resilience, KappaTwoOutperformsKappaZeroUnderDoubleFailures) {
+  auto survival_for = [](int kappa) {
+    Experiment exp(fast_config("B4", 1, kappa, 8));
+    const auto r = exp.run_until_legitimate(sec(60));
+    EXPECT_TRUE(r.converged);
+    auto& c = exp.controller(0);
+    c.set_frozen(true);
+    auto& net = exp.sim().network();
+    int total = 0, ok = 0;
+    for (std::size_t i = 0; i < net.link_count(); ++i) {
+      for (std::size_t j = i + 1; j < net.link_count(); ++j) {
+        auto& la = net.link(static_cast<int>(i));
+        auto& lb = net.link(static_cast<int>(j));
+        if (la.a() >= 12 || la.b() >= 12 || lb.a() >= 12 || lb.b() >= 12)
+          continue;
+        la.set_state(net::LinkState::TransientDown);
+        lb.set_state(net::LinkState::TransientDown);
+        for (auto* s : exp.switches()) {
+          ++total;
+          ok += walk_ok(exp, c, s->id()) ? 1 : 0;
+        }
+        la.set_state(net::LinkState::Up);
+        lb.set_state(net::LinkState::Up);
+      }
+    }
+    return static_cast<double>(ok) / static_cast<double>(total);
+  };
+  const double s0 = survival_for(0);
+  const double s2 = survival_for(2);
+  EXPECT_GT(s2, s0) << "kappa=2 " << s2 << " vs kappa=0 " << s0;
+  EXPECT_GT(s2, 0.8);
+}
+
+/// Route a frame from switch `src` to controller id `cid` the way
+/// AbstractSwitch::route_frame does; returns true when it arrives.
+bool switch_frame_reaches(Experiment& exp, NodeId src, NodeId cid) {
+  std::map<NodeId, switchd::AbstractSwitch*> by_id;
+  for (auto* s : exp.switches()) {
+    if (s->alive()) by_id[s->id()] = s;
+  }
+  NodeId at = src;
+  for (int ttl = 0; ttl < 64; ++ttl) {
+    if (at == cid) return true;
+    auto it = by_id.find(at);
+    if (it == by_id.end()) return false;
+    if (exp.sim().network().link_operational(at, cid)) {
+      at = cid;
+      continue;
+    }
+    NodeId nh = kNoNode;
+    for (const auto& cand : it->second->rule_table().candidates(src, cid)) {
+      if (exp.sim().network().link_operational(at, cand.fwd)) {
+        nh = cand.fwd;
+        break;
+      }
+    }
+    if (nh == kNoNode) return false;
+    at = nh;
+  }
+  return false;
+}
+
+TEST(Resilience, PairFlowReverseSurvivesAtTheBreakSwitch) {
+  // The paper's kappa-fault-resilient flows are per (controller, node)
+  // pair: the switch adjacent to a failed link has its own exact-match
+  // backup toward the controller and keeps replying *immediately*, with
+  // the pre-failure rules — no controller involvement.
+  Experiment exp(fast_config("B4", 1, 2, 3));
+  bootstrap_or_fail(exp);
+  auto& c = exp.controller(0);
+  const auto ports = exp.sim().network().adjacency(c.id());
+  ASSERT_GE(ports.size(), 2u);
+  const NodeId w = ports[0].neighbor;  // tree child of the dead link
+  auto* link = exp.sim().network().find_link(c.id(), w);
+  link->set_state(net::LinkState::TransientDown);
+  EXPECT_TRUE(switch_frame_reaches(exp, w, c.id()))
+      << "break switch lost its own backup flow";
+  link->set_state(net::LinkState::Up);
+}
+
+TEST(Resilience, AllRepliesFlowAgainAfterControlPlaneRepair) {
+  // Transit frames from other sources may blackhole on the dead tree edge
+  // (their exact backups live on *their* backup paths); the control plane
+  // repairs the tree within O(D) — after that every switch routes again.
+  Experiment exp(fast_config("B4", 1, 2, 3));
+  bootstrap_or_fail(exp);
+  auto& c = exp.controller(0);
+  const auto ports = exp.sim().network().adjacency(c.id());
+  ASSERT_GE(ports.size(), 2u);
+  exp.sim().set_link_state(c.id(), ports[0].neighbor,
+                           net::LinkState::PermanentDown);
+  const auto r = exp.run_until_legitimate(sec(60));
+  ASSERT_TRUE(r.converged) << r.last_reason;
+  for (auto* s : exp.switches()) {
+    EXPECT_TRUE(switch_frame_reaches(exp, s->id(), c.id()))
+        << "switch " << s->id();
+  }
+}
+
+}  // namespace
+}  // namespace ren::sim

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "switchd/rule_table.hpp"
+
+namespace ren::switchd {
+namespace {
+
+proto::Tag tag(NodeId owner, std::uint32_t e) { return proto::Tag{owner, e}; }
+
+proto::RuleListPtr rules_of(NodeId cid, NodeId sid,
+                            std::vector<std::tuple<NodeId, NodeId, Priority,
+                                                   NodeId>> specs) {
+  auto list = std::make_shared<proto::RuleList>();
+  for (auto [src, dest, prt, fwd] : specs) {
+    list->push_back(proto::Rule{cid, sid, src, dest, prt, fwd});
+  }
+  std::sort(list->begin(), list->end(), [](const auto& a, const auto& b) {
+    if (a.dest != b.dest) return a.dest < b.dest;
+    if (a.src != b.src) return a.src < b.src;
+    return a.prt > b.prt;
+  });
+  return list;
+}
+
+TEST(RuleTable, MetaTagFollowsNewRound) {
+  RuleTable t({1024});
+  EXPECT_FALSE(t.meta_tag(7).has_value());
+  t.new_round(7, tag(7, 1), 2);
+  EXPECT_EQ(t.meta_tag(7)->epoch, 1u);
+  t.new_round(7, tag(7, 2), 2);
+  EXPECT_EQ(t.meta_tag(7)->epoch, 2u);
+}
+
+TEST(RuleTable, UpdateReplacesSameTagList) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(7, rules_of(7, 0, {{7, 1, 3, 2}}), tag(7, 1));
+  EXPECT_EQ(t.total_rules(), 1u);
+  t.update_rules(7, rules_of(7, 0, {{7, 1, 3, 2}, {7, 2, 3, 2}}), tag(7, 1));
+  EXPECT_EQ(t.total_rules(), 2u);
+}
+
+TEST(RuleTable, RetentionTwoKeepsOnlyTheCurrentRound) {
+  // Base Algorithm 2: "as the new rules for currTag are being installed,
+  // the ones for prevTag are being removed".
+  RuleTable t({1024});
+  for (std::uint32_t e = 1; e <= 4; ++e) {
+    t.new_round(7, tag(7, e), 2);
+    t.update_rules(7, rules_of(7, 0, {{7, static_cast<NodeId>(e), 3, 2}}),
+                   tag(7, e));
+  }
+  EXPECT_EQ(t.total_rules(), 1u);
+  const auto owners = t.owners_summary();
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0].tag.epoch, 4u);
+}
+
+TEST(RuleTable, RetentionThreeKeepsPreviousRoundAsFailover) {
+  // Section 6.2 variant: installing currTag removes beforePrevTag but
+  // keeps prevTag rules alive as failover.
+  RuleTable t({1024});
+  for (std::uint32_t e = 1; e <= 4; ++e) {
+    t.new_round(7, tag(7, e), 3);
+    t.update_rules(7, rules_of(7, 0, {{7, static_cast<NodeId>(e), 3, 2}}),
+                   tag(7, e));
+  }
+  EXPECT_EQ(t.total_rules(), 2u);  // rounds 3 and 4
+}
+
+TEST(RuleTable, StaleRoundNeverShadowsCurrentRules) {
+  // A (possibly corrupted) retained list from an older round must lose to
+  // the current round's rules even with an absurdly high priority.
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 3);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 99, 111}}), tag(7, 1));
+  t.new_round(7, tag(7, 2), 3);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 2, 222}}), tag(7, 2));
+  const auto& cands = t.candidates(5, 9);
+  ASSERT_GE(cands.size(), 2u);
+  EXPECT_EQ(cands.front().fwd, 222);
+}
+
+TEST(RuleTable, DelAllRemovesOwnerEntirely) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(7, rules_of(7, 0, {{7, 1, 3, 2}}), tag(7, 1));
+  t.new_round(8, tag(8, 1), 2);
+  t.del_all(7);
+  EXPECT_FALSE(t.has_rules_of(7));
+  EXPECT_FALSE(t.meta_tag(7).has_value());
+  EXPECT_TRUE(t.meta_tag(8).has_value());
+  EXPECT_EQ(t.owners(), (std::vector<NodeId>{8}));
+}
+
+TEST(RuleTable, NewestRulesWinLookupTies) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 3);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 3, 111}}), tag(7, 1));
+  t.new_round(7, tag(7, 2), 3);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 3, 222}}), tag(7, 2));
+  const auto& cands = t.candidates(5, 9);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front().fwd, 222);  // fresher round tag wins the tie
+}
+
+TEST(RuleTable, PriorityBeatsSpecificity) {
+  // The paper applies "the rule with the highest prt that matches";
+  // match specificity only breaks priority ties.
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(7,
+                 rules_of(7, 0,
+                          {{kNoNode, 9, 3, 100},  // wildcard, high priority
+                           {5, 9, 2, 200}}),      // exact, lower priority
+                 tag(7, 1));
+  const auto& cands = t.candidates(5, 9);
+  ASSERT_GE(cands.size(), 2u);
+  EXPECT_EQ(cands[0].fwd, 100);
+  EXPECT_EQ(cands[1].fwd, 200);
+}
+
+TEST(RuleTable, ExactMatchBeatsWildcardAtSamePriority) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(
+      7, rules_of(7, 0, {{kNoNode, 9, 3, 100}, {5, 9, 3, 200}}), tag(7, 1));
+  const auto& cands = t.candidates(5, 9);
+  ASSERT_GE(cands.size(), 2u);
+  EXPECT_EQ(cands[0].fwd, 200);
+}
+
+TEST(RuleTable, LookupFiltersByMatch) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(
+      7, rules_of(7, 0, {{4, 9, 3, 100}, {kNoNode, 8, 3, 200}}), tag(7, 1));
+  EXPECT_TRUE(t.candidates(5, 9).empty());   // src mismatch
+  EXPECT_FALSE(t.candidates(4, 9).empty());  // exact
+  EXPECT_FALSE(t.candidates(1, 8).empty());  // wildcard src
+  EXPECT_TRUE(t.candidates(1, 7).empty());   // no rule for dest 7
+}
+
+TEST(RuleTable, LookupCacheInvalidatedByMutation) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 3, 100}}), tag(7, 1));
+  EXPECT_EQ(t.candidates(5, 9).front().fwd, 100);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 3, 300}}), tag(7, 1));
+  EXPECT_EQ(t.candidates(5, 9).front().fwd, 300);
+  t.del_all(7);
+  EXPECT_TRUE(t.candidates(5, 9).empty());
+}
+
+TEST(RuleTable, CloggedMemoryEvictsLeastRecentlyUpdatedOwner) {
+  RuleTable t({/*max_rules=*/4});
+  t.new_round(1, tag(1, 1), 2);
+  t.update_rules(1, rules_of(1, 0, {{1, 5, 3, 2}, {1, 6, 3, 2}}), tag(1, 1));
+  t.new_round(2, tag(2, 1), 2);
+  t.update_rules(2, rules_of(2, 0, {{2, 5, 3, 2}, {2, 6, 3, 2}}), tag(2, 1));
+  EXPECT_EQ(t.total_rules(), 4u);
+  // Owner 3 arrives; owner 1 (least recently updated) is evicted.
+  t.new_round(3, tag(3, 1), 2);
+  t.update_rules(3, rules_of(3, 0, {{3, 5, 3, 2}, {3, 6, 3, 2}}), tag(3, 1));
+  EXPECT_LE(t.total_rules(), 4u);
+  EXPECT_FALSE(t.has_rules_of(1));
+  EXPECT_TRUE(t.has_rules_of(2));
+  EXPECT_TRUE(t.has_rules_of(3));
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(RuleTable, OwnersSummaryIncludesMetaOnlyOwners) {
+  RuleTable t({1024});
+  t.new_round(9, tag(9, 3), 2);  // newRound without updateRule yet
+  const auto owners = t.owners_summary();
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0].cid, 9);
+  EXPECT_EQ(owners[0].count, 0u);
+  EXPECT_EQ(owners[0].tag.epoch, 3u);
+}
+
+TEST(RuleTable, CorruptionIsRecoverableByResync) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  const auto clean = rules_of(7, 0, {{7, 1, 3, 2}, {7, 2, 3, 1}});
+  t.update_rules(7, clean, tag(7, 1));
+  Rng rng(5);
+  t.corrupt(rng, 16);
+  // A controller refresh reinstalls the canonical state.
+  t.new_round(7, tag(7, 2), 2);
+  t.update_rules(7, clean, tag(7, 2));
+  t.new_round(7, tag(7, 3), 2);
+  t.update_rules(7, clean, tag(7, 3));
+  const auto now = t.newest_rules_of(7);
+  ASSERT_NE(now, nullptr);
+  EXPECT_EQ(*now, *clean);
+}
+
+}  // namespace
+}  // namespace ren::switchd

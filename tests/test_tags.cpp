@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tags/tag_generator.hpp"
+
+namespace ren::tags {
+namespace {
+
+TEST(TagGenerator, TagsAreUniquePerOwner) {
+  TagGenerator gen(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 100000; ++i) {
+    const auto t = gen.next();
+    EXPECT_EQ(t.owner, 7);
+    EXPECT_TRUE(seen.insert(t.epoch).second) << "duplicate epoch " << t.epoch;
+  }
+}
+
+TEST(TagGenerator, DistinctOwnersNeverCollide) {
+  TagGenerator a(1), b(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(a.next() == b.next());
+  }
+}
+
+TEST(TagGenerator, WrapsInsideBoundedDomain) {
+  TagGenerator gen(3, proto::kTagDomain - 2);
+  const auto t1 = gen.next();
+  const auto t2 = gen.next();
+  const auto t3 = gen.next();
+  EXPECT_LT(t1.epoch, proto::kTagDomain);
+  EXPECT_LT(t2.epoch, proto::kTagDomain);
+  EXPECT_LT(t3.epoch, proto::kTagDomain);
+  EXPECT_FALSE(t1 == t2);
+  EXPECT_FALSE(t2 == t3);
+}
+
+TEST(TagGenerator, CurrentTracksLastIssued) {
+  TagGenerator gen(4);
+  EXPECT_TRUE(gen.current() == proto::kNullTag);
+  const auto t = gen.next();
+  EXPECT_TRUE(gen.current() == t);
+}
+
+TEST(TagGenerator, UniqueGoingForwardAfterCorruption) {
+  TagGenerator gen(5);
+  Rng rng(17);
+  for (int trial = 0; trial < 32; ++trial) {
+    gen.corrupt(rng);
+    const auto a = gen.next();
+    const auto b = gen.next();
+    EXPECT_FALSE(a == b);
+    EXPECT_EQ(a.owner, 5);  // corruption never changes ownership
+  }
+}
+
+TEST(Tag, NullTagMatchesNothingIssued) {
+  TagGenerator gen(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.next() == proto::kNullTag);
+  }
+}
+
+TEST(Tag, HashDistinguishesOwnersAndEpochs) {
+  proto::TagHash h;
+  EXPECT_NE(h(proto::Tag{1, 5}), h(proto::Tag{2, 5}));
+  EXPECT_NE(h(proto::Tag{1, 5}), h(proto::Tag{1, 6}));
+  EXPECT_EQ(h(proto::Tag{1, 5}), h(proto::Tag{1, 5}));
+}
+
+}  // namespace
+}  // namespace ren::tags

@@ -1,0 +1,95 @@
+// Integration: the Section 6.4.3 throughput-under-failure experiment.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace ren::sim {
+namespace {
+
+using ren::testing::fast_config;
+
+Experiment::ThroughputResult run_variant(bool with_recovery,
+                                         std::uint64_t seed = 5) {
+  auto cfg = fast_config("B4", 3, 2, seed);
+  cfg.with_hosts = true;
+  cfg.link_latency = usec(800);
+  Experiment exp(cfg);
+  Experiment::ThroughputRun run;
+  run.duration = sec(20);
+  run.fail_at = sec(7);
+  run.with_recovery = with_recovery;
+  return exp.run_throughput(run);
+}
+
+TEST(Throughput, SteadyDipRecoverShape) {
+  const auto r = run_variant(true);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.mbits.size(), 20u);
+  ASSERT_NE(r.failed_link.first, kNoNode);
+  // Steady before the failure.
+  const double before = (r.mbits[4] + r.mbits[5] + r.mbits[6]) / 3;
+  EXPECT_GT(before, 100.0);
+  // Dip at the failure second.
+  EXPECT_LT(r.mbits[7], before * 0.8);
+  // Recovered after a few seconds, to a level near the pre-failure one.
+  const double after = (r.mbits[16] + r.mbits[17] + r.mbits[18]) / 3;
+  EXPECT_GT(after, before * 0.6);
+}
+
+TEST(Throughput, RetransmissionSpikeAtFailure) {
+  const auto r = run_variant(true);
+  ASSERT_TRUE(r.ok);
+  double before = 0, at = 0;
+  for (int i = 2; i < 7; ++i) before = std::max(before, r.retx_pct[static_cast<std::size_t>(i)]);
+  for (int i = 7; i < 10; ++i) at = std::max(at, r.retx_pct[static_cast<std::size_t>(i)]);
+  EXPECT_GT(at, before);
+  EXPECT_GT(at, 0.0);
+}
+
+TEST(Throughput, NoRecoveryVariantSurvivesOnBackupPath) {
+  const auto r = run_variant(false);
+  ASSERT_TRUE(r.ok);
+  const double after = (r.mbits[16] + r.mbits[17] + r.mbits[18]) / 3;
+  EXPECT_GT(after, 100.0) << "backup path never carried traffic";
+}
+
+TEST(Throughput, VariantsCorrelateAsInFig17) {
+  const auto a = run_variant(true);
+  const auto b = run_variant(false);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  const double r = pearson(a.mbits, b.mbits);
+  EXPECT_GT(r, 0.85) << "paper reports 0.92-0.96";
+}
+
+TEST(Throughput, PrimaryPathConnectsTheHosts) {
+  auto cfg = fast_config("Clos", 2, 1, 9);
+  cfg.with_hosts = true;
+  Experiment exp(cfg);
+  ASSERT_TRUE(exp.run_until_legitimate(sec(60)).converged);
+  core::Controller::DataFlowSpec spec;
+  spec.host_a = exp.host_a()->id();
+  spec.attach_a = exp.host_a()->attach();
+  spec.host_b = exp.host_b()->id();
+  spec.attach_b = exp.host_b()->attach();
+  exp.controller(0).register_data_flow(spec);
+  exp.sim().run_until(exp.sim().now() + sec(2));
+  const auto path = exp.current_data_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), exp.host_a()->id());
+  EXPECT_EQ(path.back(), exp.host_b()->id());
+  // Primary data path follows a shortest route: host + diameter + host.
+  EXPECT_LE(path.size(),
+            static_cast<std::size_t>(exp.topology().expected_diameter + 3));
+}
+
+TEST(Throughput, RequiresHosts) {
+  auto cfg = fast_config("B4", 1);
+  Experiment exp(cfg);
+  Experiment::ThroughputRun run;
+  EXPECT_THROW((void)exp.run_throughput(run), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ren::sim

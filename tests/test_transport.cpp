@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "transport/endpoint.hpp"
+
+namespace ren::transport {
+namespace {
+
+proto::Message text_message(NodeId from, int payload) {
+  proto::QueryReply r;
+  r.id = from;
+  r.rules_wire_bytes = static_cast<std::size_t>(payload);  // carries the value
+  return proto::Message{r};
+}
+
+int payload_of(const proto::MessagePtr& m) {
+  return static_cast<int>(std::get<proto::QueryReply>(*m).rules_wire_bytes);
+}
+
+/// A lossy in-memory channel between two endpoints, with deterministic
+/// fault injection: every frame sent is queued; `pump` delivers them,
+/// dropping/duplicating per the configured pattern.
+struct Harness {
+  explicit Harness(Config cfg = Config{}) {
+    auto make = [this, cfg](NodeId self, NodeId peer,
+                            std::unique_ptr<Endpoint>& slot,
+                            std::vector<int>& delivered) {
+      slot = std::make_unique<Endpoint>(
+          self, cfg,
+          Endpoint::Hooks{
+              [this, self](NodeId to, proto::Frame f) {
+                wire.push_back({self, to, std::move(f)});
+              },
+              [&delivered](NodeId, proto::MessagePtr m) {
+                delivered.push_back(payload_of(m));
+              },
+              [this, self](NodeId) { ++new_messages[self]; }});
+      (void)peer;
+    };
+    make(1, 2, a, delivered_at_a);
+    make(2, 1, b, delivered_at_b);
+  }
+
+  /// Deliver queued frames; `drop(i)` decides per frame.
+  void pump(const std::function<bool(std::size_t)>& drop = {}) {
+    std::size_t i = 0;
+    while (!wire.empty()) {
+      auto [from, to, frame] = wire.front();
+      wire.pop_front();
+      if (drop && drop(i++)) continue;
+      (to == 1 ? *a : *b).on_frame(from, frame);
+    }
+  }
+
+  struct WireFrame {
+    NodeId from, to;
+    proto::Frame frame;
+  };
+  std::deque<WireFrame> wire;
+  std::unique_ptr<Endpoint> a, b;
+  std::vector<int> delivered_at_a, delivered_at_b;
+  std::map<NodeId, int> new_messages;
+};
+
+TEST(Transport, DeliversOnCleanChannel) {
+  Harness h;
+  h.a->submit(2, text_message(1, 42));
+  h.pump();
+  EXPECT_EQ(h.delivered_at_b, (std::vector<int>{42}));
+  EXPECT_TRUE(h.a->idle(2));  // ack consumed
+}
+
+TEST(Transport, RetransmitsUntilAcked) {
+  Harness h;
+  h.a->submit(2, text_message(1, 7));
+  // Drop everything on the first two attempts.
+  h.pump([](std::size_t) { return true; });
+  EXPECT_TRUE(h.delivered_at_b.empty());
+  h.a->tick();  // retransmit
+  h.pump([](std::size_t) { return true; });
+  h.a->tick();
+  h.pump();  // now deliver
+  EXPECT_EQ(h.delivered_at_b, (std::vector<int>{7}));
+  EXPECT_GE(h.a->retransmissions(), 2u);
+}
+
+TEST(Transport, DuplicateFramesDeliverOnce) {
+  Harness h;
+  h.a->submit(2, text_message(1, 9));
+  // Duplicate by retransmitting before the ack is processed.
+  h.a->tick();
+  h.a->tick();
+  h.pump();
+  EXPECT_EQ(h.delivered_at_b, (std::vector<int>{9}));
+}
+
+TEST(Transport, SupersedeReplacesInflight) {
+  Harness h;  // default: supersede_inflight = true
+  h.a->submit(2, text_message(1, 1));
+  // Ack never returns; a newer message must still go out.
+  h.pump([](std::size_t) { return true; });
+  h.a->submit(2, text_message(1, 2));
+  h.pump();
+  EXPECT_EQ(h.delivered_at_b.back(), 2);
+}
+
+TEST(Transport, StopAndWaitQueuesBehindInflight) {
+  Config cfg;
+  cfg.supersede_inflight = false;
+  Harness h(cfg);
+  h.a->submit(2, text_message(1, 1));
+  h.a->submit(2, text_message(1, 2));
+  h.a->submit(2, text_message(1, 3));  // supersedes 2 in the queue slot
+  h.pump();
+  // 1 delivered, its ack releases 3 (2 was superseded), next pump delivers.
+  h.pump();
+  EXPECT_EQ(h.delivered_at_b, (std::vector<int>{1, 3}));
+  EXPECT_EQ(h.new_messages[1], 2);
+}
+
+TEST(Transport, BidirectionalSessionsAreIndependent) {
+  Harness h;
+  h.a->submit(2, text_message(1, 10));
+  h.b->submit(1, text_message(2, 20));
+  h.pump();
+  h.pump();
+  EXPECT_EQ(h.delivered_at_b, (std::vector<int>{10}));
+  EXPECT_EQ(h.delivered_at_a, (std::vector<int>{20}));
+}
+
+TEST(Transport, RetainOnlyDropsSessions) {
+  Harness h;
+  h.a->submit(2, text_message(1, 5));
+  EXPECT_GT(h.a->session_count(), 0u);
+  h.wire.clear();  // discard the initial transmission
+  h.a->retain_only({});
+  EXPECT_EQ(h.a->session_count(), 0u);
+  h.a->tick();  // no sessions left: nothing to retransmit
+  EXPECT_TRUE(h.wire.empty());
+}
+
+TEST(Transport, RecoversAfterStateCorruption) {
+  // Property sweep: from an arbitrarily corrupted session state, fresh
+  // messages flow again after a bounded number of exchanges (Delta_comm).
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Harness h;
+    Rng rng(seed);
+    // Establish some traffic, then corrupt both ends.
+    h.a->submit(2, text_message(1, 1));
+    h.pump();
+    h.a->corrupt(rng);
+    h.b->corrupt(rng);
+    // A few rounds of fresh messages + retransmissions.
+    bool delivered_fresh = false;
+    for (int round = 0; round < 6 && !delivered_fresh; ++round) {
+      h.a->submit(2, text_message(1, 100 + round));
+      h.a->tick();
+      h.pump();
+      for (int v : h.delivered_at_b) {
+        if (v >= 100) delivered_fresh = true;
+      }
+    }
+    EXPECT_TRUE(delivered_fresh) << "seed " << seed;
+  }
+}
+
+TEST(Transport, LossyChannelPropertySweep) {
+  // Under 30% deterministic-pattern loss, every submitted generation is
+  // eventually superseded-or-delivered and the newest value arrives.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Harness h;
+    Rng rng(seed);
+    int last = 0;
+    for (int gen = 1; gen <= 30; ++gen) {
+      h.a->submit(2, text_message(1, gen));
+      h.a->tick();
+      h.pump([&rng](std::size_t) { return rng.chance(0.3); });
+      last = gen;
+    }
+    // Final drain without loss.
+    h.a->tick();
+    h.pump();
+    h.pump();
+    ASSERT_FALSE(h.delivered_at_b.empty());
+    EXPECT_EQ(h.delivered_at_b.back(), last) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ren::transport
