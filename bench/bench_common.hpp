@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -114,6 +115,46 @@ inline void print_series(const std::string& label,
   std::printf("%-14s", label.c_str());
   for (double v : series) std::printf(" %.*f", precision, v);
   std::printf("\n");
+}
+
+// --- Scenario-engine ports ---------------------------------------------------
+
+/// Trial count from argv[1] (default kRuns); exits with a usage error on
+/// anything that is not a positive integer.
+inline int trials_from_argv(int argc, char** argv) {
+  if (argc <= 1) return kRuns;
+  char* end = nullptr;
+  const long v = std::strtol(argv[1], &end, 10);
+  if (end == argv[1] || *end != '\0' || v <= 0) {
+    std::fprintf(stderr, "usage: %s [trials>0]\n", argv[0]);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+/// The paper's evaluation axes for a figure-port scenario: all five Table 8
+/// topologies, 3 controllers, seeded like the hand-rolled harnesses.
+inline void paper_axes(scenario::Scenario& s, int trials) {
+  s.topologies.clear();
+  for (const auto& t : topo::paper_topologies()) s.topologies.push_back(t.name);
+  s.controllers = {3};
+  s.trials = trials;
+  s.base_seed = kBaseSeed;
+}
+
+/// One row per topology for the named checkpoint of a campaign result.
+inline void print_checkpoint_rows(const scenario::CampaignResult& result,
+                                  const std::string& label) {
+  for (const auto& cell : result.cells) {
+    for (const auto& cp : cell.checkpoints) {
+      if (cp.label != label) continue;
+      const auto& p = cp.seconds;
+      std::printf("%-14s med=%.2f [p90=%.2f] (min=%.2f max=%.2f) n=%zu "
+                  "converged=%d/%d [s]\n",
+                  cell.topology.c_str(), p.p50, p.p90, p.min, p.max, p.n,
+                  cp.converged, cp.trials);
+    }
+  }
 }
 
 }  // namespace ren::bench

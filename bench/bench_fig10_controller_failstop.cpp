@@ -1,19 +1,27 @@
 // Fig. 10: recovery time after the fail-stop of one (random) controller.
 // Paper shape: O(D)-ish medians of a few seconds, growing mildly with
 // network size.
+//
+// Ported onto the scenario engine: the figure is now a two-checkpoint
+// scenario (bootstrap, kill, recovery) swept over the paper topologies by
+// the parallel campaign runner, instead of a hand-rolled serial loop.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 10 — recovery after one controller fail-stop",
                       "stale manager/rule cleanup drives the recovery");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto s = bench::recovery_sample(
-        t.name, 3, [](sim::Experiment& exp) {
-          auto cp = exp.control_plane();
-          return faults::kill_random_controller(cp, exp.fault_rng()) != kNoNode;
-        });
-    bench::print_violin_row(t.name, s);
-  }
+
+  scenario::Scenario s;
+  s.name = "fig10_controller_failstop";
+  s.description = "recovery after one random controller fail-stop";
+  bench::paper_axes(s, bench::trials_from_argv(argc, argv));
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+  s.kill_controller(sec(150));
+  s.expect_converged(sec(150), "recovery", sec(300));
+
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_checkpoint_rows(scenario::run_campaign(s, opt), "recovery");
   return 0;
 }

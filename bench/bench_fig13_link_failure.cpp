@@ -1,17 +1,24 @@
 // Fig. 13: recovery time after one permanent link failure.
+//
+// Ported onto the scenario engine (see bench_fig10 for the pattern): one
+// declarative timeline, parallel seeded trials per topology.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 13 — recovery after a permanent link failure",
                       "O(D) recovery via topology re-discovery + rule refresh");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto s = bench::recovery_sample(
-        t.name, 3, [](sim::Experiment& exp) {
-          auto cp = exp.control_plane();
-          return faults::fail_random_link(cp, exp.fault_rng()).first != kNoNode;
-        });
-    bench::print_violin_row(t.name, s);
-  }
+
+  scenario::Scenario s;
+  s.name = "fig13_link_failure";
+  s.description = "recovery after one random permanent link failure";
+  bench::paper_axes(s, bench::trials_from_argv(argc, argv));
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+  s.fail_links(sec(150), 1);
+  s.expect_converged(sec(150), "recovery", sec(300));
+
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_checkpoint_rows(scenario::run_campaign(s, opt), "recovery");
   return 0;
 }

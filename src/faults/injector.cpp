@@ -41,6 +41,75 @@ flows::TopoView control_topology(const ControlPlane& cp) {
   return view;
 }
 
+void kill_node(ControlPlane& cp, NodeId id) {
+  auto& downed = cp.kill_downed_links[id];
+  for (const auto& e : cp.sim->network().adjacency(id)) {
+    const net::LinkState prior = cp.sim->network().link(e.link).state();
+    if (prior != net::LinkState::PermanentDown)
+      downed.emplace_back(e.link, prior);
+  }
+  cp.sim->kill_node(id);
+  cp.killed_nodes.push_back(id);
+}
+
+bool restart_node(ControlPlane& cp, NodeId id) {
+  if (cp.sim->node(id).alive()) return false;
+  if (const auto it = cp.kill_downed_links.find(id);
+      it != cp.kill_downed_links.end()) {
+    for (const auto& [li, prior] : it->second) {
+      net::Link& l = cp.sim->network().link(li);
+      if (l.state() == net::LinkState::PermanentDown) l.set_state(prior);
+    }
+    cp.kill_downed_links.erase(it);
+  }
+  cp.sim->revive_node(id);
+  cp.killed_nodes.erase(
+      std::remove(cp.killed_nodes.begin(), cp.killed_nodes.end(), id),
+      cp.killed_nodes.end());
+  return true;
+}
+
+std::vector<NodeId> restart_all_nodes(ControlPlane& cp) {
+  std::vector<NodeId> revived;
+  // killed_nodes shrinks as restart_node succeeds; iterate over a copy.
+  const std::vector<NodeId> killed = cp.killed_nodes;
+  for (NodeId id : killed) {
+    if (restart_node(cp, id)) revived.push_back(id);
+  }
+  return revived;
+}
+
+bool fail_link(ControlPlane& cp, NodeId a, NodeId b) {
+  net::Link* l = cp.sim->network().find_link(a, b);
+  if (l == nullptr || l->state() == net::LinkState::PermanentDown) return false;
+  l->set_state(net::LinkState::PermanentDown);
+  cp.failed_links.push_back(l->index());
+  return true;
+}
+
+bool restore_link(ControlPlane& cp, NodeId a, NodeId b) {
+  net::Link* l = cp.sim->network().find_link(a, b);
+  if (l == nullptr || l->state() != net::LinkState::PermanentDown) return false;
+  l->set_state(net::LinkState::Up);
+  cp.failed_links.erase(
+      std::remove(cp.failed_links.begin(), cp.failed_links.end(), l->index()),
+      cp.failed_links.end());
+  return true;
+}
+
+std::size_t restore_all_links(ControlPlane& cp) {
+  std::size_t restored = 0;
+  for (int li : cp.failed_links) {
+    net::Link& l = cp.sim->network().link(li);
+    if (l.state() == net::LinkState::PermanentDown) {
+      l.set_state(net::LinkState::Up);
+      ++restored;
+    }
+  }
+  cp.failed_links.clear();
+  return restored;
+}
+
 NodeId kill_random_controller(ControlPlane& cp, Rng& rng) {
   std::vector<core::Controller*> live;
   for (auto* c : cp.controllers) {
@@ -48,7 +117,7 @@ NodeId kill_random_controller(ControlPlane& cp, Rng& rng) {
   }
   if (live.size() <= 1) return kNoNode;  // keep at least one controller
   core::Controller* victim = live[rng.next_below(live.size())];
-  cp.sim->kill_node(victim->id());
+  kill_node(cp, victim->id());
   return victim->id();
 }
 
@@ -91,14 +160,26 @@ NodeId kill_random_switch(ControlPlane& cp, Rng& rng) {
       }
     }
     if (view_connected(view)) {
-      cp.sim->kill_node(s->id());
+      kill_node(cp, s->id());
       return s->id();
     }
   }
   return kNoNode;
 }
 
-std::pair<NodeId, NodeId> fail_random_link(ControlPlane& cp, Rng& rng) {
+std::vector<NodeId> kill_random_switches(ControlPlane& cp, Rng& rng,
+                                         int count) {
+  std::vector<NodeId> killed;
+  for (int i = 0; i < count; ++i) {
+    const NodeId victim = kill_random_switch(cp, rng);
+    if (victim == kNoNode) break;
+    killed.push_back(victim);
+  }
+  return killed;
+}
+
+std::pair<NodeId, NodeId> fail_random_link(ControlPlane& cp, Rng& rng,
+                                           bool keep_connected) {
   const auto ids = live_control_ids(cp);
   std::vector<std::pair<NodeId, NodeId>> candidates;
   const net::Network& net = cp.sim->network();
@@ -112,29 +193,30 @@ std::pair<NodeId, NodeId> fail_random_link(ControlPlane& cp, Rng& rng) {
   }
   rng.shuffle(candidates);
   for (const auto& [a, b] : candidates) {
-    flows::TopoView view = control_topology(cp);
-    // Rebuild without this edge.
-    flows::TopoView probe;
-    for (const auto& [n, nbrs] : view.adj()) {
-      probe.add_node(n);
-      for (NodeId v : nbrs) {
-        if ((n == a && v == b) || (n == b && v == a)) continue;
-        probe.add_edge(n, v);
+    if (keep_connected) {
+      flows::TopoView view = control_topology(cp);
+      // Rebuild without this edge.
+      flows::TopoView probe;
+      for (const auto& [n, nbrs] : view.adj()) {
+        probe.add_node(n);
+        for (NodeId v : nbrs) {
+          if ((n == a && v == b) || (n == b && v == a)) continue;
+          probe.add_edge(n, v);
+        }
       }
+      if (!view_connected(probe)) continue;
     }
-    if (view_connected(probe)) {
-      cp.sim->set_link_state(a, b, net::LinkState::PermanentDown);
-      return {a, b};
-    }
+    fail_link(cp, a, b);
+    return {a, b};
   }
   return {kNoNode, kNoNode};
 }
 
-std::vector<std::pair<NodeId, NodeId>> fail_random_links(ControlPlane& cp,
-                                                         Rng& rng, int count) {
+std::vector<std::pair<NodeId, NodeId>> fail_random_links(
+    ControlPlane& cp, Rng& rng, int count, bool keep_connected) {
   std::vector<std::pair<NodeId, NodeId>> failed;
   for (int i = 0; i < count; ++i) {
-    const auto link = fail_random_link(cp, rng);
+    const auto link = fail_random_link(cp, rng, keep_connected);
     if (link.first == kNoNode) break;
     failed.push_back(link);
   }

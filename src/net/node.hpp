@@ -1,6 +1,8 @@
 // Base class for simulated nodes (abstract switches, controllers, hosts).
 #pragma once
 
+#include <cstdint>
+
 #include "net/packet.hpp"
 #include "util/types.hpp"
 
@@ -30,6 +32,19 @@ class Node {
   /// Fail-stop: the node ceases all activity (timers check alive()).
   virtual void fail_stop() { alive_ = false; }
 
+  /// Undo a fail-stop: the node resumes taking steps with whatever state it
+  /// held at the crash — an arbitrary starting state the self-stabilizing
+  /// algorithm must recover from anyway. Bumps the incarnation so timer
+  /// chains scheduled before the crash stay dead after the revival.
+  virtual void revive() {
+    alive_ = true;
+    ++incarnation_;
+  }
+
+  /// Monotonic revival count; schedule_for actions are dropped when the
+  /// node's incarnation has moved past the one they were scheduled under.
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+
  protected:
   friend class Simulator;
   Simulator* sim_ = nullptr;  ///< set by Simulator::add_node
@@ -38,6 +53,7 @@ class Node {
   NodeId id_;
   NodeKind kind_;
   bool alive_ = true;
+  std::uint32_t incarnation_ = 0;
 };
 
 }  // namespace ren::net

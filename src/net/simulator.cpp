@@ -8,8 +8,10 @@ namespace ren::net {
 
 void Simulator::schedule_for(NodeId node_id, Time delay,
                              std::function<void()> action) {
-  schedule(delay, [this, node_id, action = std::move(action)]() {
-    if (node(node_id).alive()) action();
+  const std::uint32_t inc = node(node_id).incarnation();
+  schedule(delay, [this, node_id, inc, action = std::move(action)]() {
+    const Node& n = node(node_id);
+    if (n.alive() && n.incarnation() == inc) action();
   });
 }
 
@@ -47,6 +49,14 @@ void Simulator::kill_node(NodeId id) {
     network_.link(e.link).set_state(LinkState::PermanentDown);
   }
   REN_LOG(Info, "t=%.3fs node %d fail-stopped", to_seconds(now()), id);
+}
+
+void Simulator::revive_node(NodeId id) {
+  Node& n = node(id);
+  if (n.alive()) return;
+  n.revive();
+  n.start();  // restart the timer chains under the new incarnation
+  REN_LOG(Info, "t=%.3fs node %d revived", to_seconds(now()), id);
 }
 
 void Simulator::set_link_state(NodeId a, NodeId b, LinkState state) {

@@ -101,6 +101,12 @@ class Simulator {
   /// permanently (the paper's node-removal semantics, Section 3.4.2).
   void kill_node(NodeId id);
 
+  /// Bring a fail-stopped node back: it keeps the (stale) state it crashed
+  /// with and restarts its timers. Links are NOT restored here — the faults
+  /// layer tracks which links each kill took down and restores exactly those
+  /// (faults::restart_node).
+  void revive_node(NodeId id);
+
   /// Change the state of the a-b link. Throws if the link does not exist.
   void set_link_state(NodeId a, NodeId b, LinkState state);
 

@@ -14,6 +14,9 @@
 #include "flows/my_rules.hpp"         // kappa-fault-resilient rule compiler
 #include "flows/resilient_paths.hpp"  // verification helpers
 #include "net/simulator.hpp"          // discrete-event substrate
+#include "scenario/library.hpp"       // built-in fault-timeline scenarios
+#include "scenario/runner.hpp"        // parallel campaign runner
+#include "scenario/scenario.hpp"      // declarative scenario model
 #include "sim/experiment.hpp"         // experiment harness
 #include "switchd/abstract_switch.hpp"  // the abstract SDN switch
 #include "tags/tag_generator.hpp"     // bounded round tags

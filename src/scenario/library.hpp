@@ -1,0 +1,21 @@
+// Built-in scenario library: programmable fault timelines the seed's fixed
+// per-figure benches cannot express. Each returns a ready-to-run Scenario
+// over the default axes (B4/Clos/Telstra x 3 controllers x 8 trials); the
+// CLI and callers can override any axis afterwards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace ren::scenario {
+
+/// Names accepted by builtin(), in presentation order.
+[[nodiscard]] std::vector<std::string> builtin_names();
+
+/// Look up a built-in scenario. Throws std::invalid_argument for unknown
+/// names (the message lists the valid ones).
+[[nodiscard]] Scenario builtin(const std::string& name);
+
+}  // namespace ren::scenario

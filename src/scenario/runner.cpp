@@ -1,0 +1,376 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "faults/injector.hpp"
+#include "sim/experiment.hpp"
+#include "tcp/host.hpp"
+#include "topo/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace ren::scenario {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+sim::ExperimentConfig profile_config(const std::string& topology,
+                                     int controllers, std::uint64_t seed,
+                                     bool paper_timers) {
+  sim::ExperimentConfig cfg;
+  cfg.topology = topology;
+  cfg.controllers = controllers;
+  cfg.kappa = 2;
+  cfg.seed = seed;
+  if (paper_timers) {
+    cfg.task_delay = msec(500);
+    cfg.detect_interval = msec(100);
+    cfg.monitor_interval = msec(250);
+    cfg.theta = (topology == "B4" || topology == "Clos") ? 10 : 30;
+  } else {
+    cfg.task_delay = msec(50);
+    cfg.detect_interval = msec(10);
+    cfg.monitor_interval = msec(25);
+    cfg.link_latency = usec(100);
+    cfg.theta = 10;
+  }
+  cfg.rule_retention = 3;
+  return cfg;
+}
+
+Json summary_json(const PercentileSummary& p) {
+  Json j;
+  j.set("mean", p.mean);
+  j.set("min", p.min);
+  j.set("p50", p.p50);
+  j.set("p90", p.p90);
+  j.set("p99", p.p99);
+  j.set("max", p.max);
+  j.set("n", p.n);
+  return j;
+}
+
+/// The per-trial timeline interpreter.
+class TrialExecutor {
+ public:
+  TrialExecutor(const Scenario& s, const std::string& topology,
+                int controllers, std::uint64_t seed, const RunnerOptions& opt)
+      : scenario_(s),
+        // The scenario fault stream is separate from the experiment's
+        // internal streams so adding internal randomness never reshuffles
+        // which victims a scenario picks.
+        fault_rng_(mix64(seed ^ 0x5ce9a5ce9a5ce9aULL)) {
+    auto cfg = profile_config(topology, controllers, seed, opt.paper_timers);
+    cfg.with_hosts = s.needs_hosts();
+    exp_ = std::make_unique<sim::Experiment>(std::move(cfg));
+    cp_ = exp_->control_plane();
+  }
+
+  TrialOutcome run() {
+    TrialOutcome out;
+    for (const Event& ev : scenario_.sorted_events()) {
+      if (exp_->sim().now() < ev.at) exp_->sim().run_until(ev.at);
+      apply(ev, out);
+    }
+    finish(out);
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  void apply(const Event& ev, TrialOutcome& out) {
+    switch (ev.kind) {
+      case EventKind::KillController:
+        faults::kill_random_controllers(cp_, fault_rng_, ev.count);
+        break;
+      case EventKind::KillSwitches:
+        faults::kill_random_switches(cp_, fault_rng_, ev.count);
+        break;
+      case EventKind::FailLinks:
+        faults::fail_random_links(cp_, fault_rng_, ev.count,
+                                  ev.keep_connected);
+        break;
+      case EventKind::RestoreLinks:
+        faults::restore_all_links(cp_);
+        break;
+      case EventKind::RestartNodes:
+        faults::restart_all_nodes(cp_);
+        break;
+      case EventKind::CorruptAll:
+        faults::corrupt_all_state(cp_, fault_rng_);
+        break;
+      case EventKind::Freeze:
+        for (auto* c : exp_->controllers()) c->set_frozen(true);
+        break;
+      case EventKind::Unfreeze:
+        for (auto* c : exp_->controllers()) c->set_frozen(false);
+        break;
+      case EventKind::StartTraffic:
+        start_traffic();
+        break;
+      case EventKind::ExpectConverged: {
+        const auto r = exp_->run_until_legitimate(ev.limit);
+        TrialOutcome::Checkpoint cp;
+        cp.label = ev.label;
+        cp.converged = r.converged;
+        cp.seconds = r.converged ? r.seconds : to_seconds(ev.limit);
+        out.checkpoints.push_back(std::move(cp));
+        break;
+      }
+    }
+  }
+
+  void start_traffic() {
+    tcp::Host* a = exp_->host_a();
+    tcp::Host* b = exp_->host_b();
+    if (a == nullptr || b == nullptr)
+      throw std::logic_error("start_traffic: experiment has no hosts");
+    core::Controller* owner = nullptr;
+    for (auto* c : exp_->controllers()) {
+      if (c->alive()) {
+        owner = c;
+        break;
+      }
+    }
+    if (owner == nullptr)
+      throw std::logic_error("start_traffic: no live controller");
+    core::Controller::DataFlowSpec spec;
+    spec.host_a = a->id();
+    spec.attach_a = a->attach();
+    spec.host_b = b->id();
+    spec.attach_b = b->attach();
+    owner->register_data_flow(spec);
+    const Time deadline = exp_->sim().now() + sec(30);
+    while (exp_->sim().now() < deadline && exp_->current_data_path().empty()) {
+      exp_->sim().run_until(exp_->sim().now() +
+                            exp_->config().task_delay);
+    }
+    traffic_stats_ = std::make_unique<tcp::FlowStats>(exp_->sim().now());
+    tcp::RenoConfig tcp_cfg;
+    tcp_cfg.rwnd = 1u << 20;
+    b->make_receiver(a->id(), tcp_cfg, traffic_stats_.get());
+    auto& sender = a->make_sender(b->id(), tcp_cfg, traffic_stats_.get());
+    traffic_start_ = exp_->sim().now();
+    sender.start(traffic_start_);
+  }
+
+  void finish(TrialOutcome& out) {
+    const auto& counters = exp_->sim().counters();
+    for (const auto* c : exp_->controllers()) {
+      const auto idx = static_cast<std::size_t>(c->id());
+      out.messages += static_cast<double>(counters.ctrl_messages_sent[idx]);
+      out.commands += static_cast<double>(counters.ctrl_commands_sent[idx]);
+      out.illegitimate_deletions +=
+          static_cast<double>(c->stats().illegitimate_deletions);
+    }
+    if (traffic_stats_ != nullptr) {
+      if (exp_->host_a() != nullptr && exp_->host_a()->sender() != nullptr) {
+        exp_->host_a()->sender()->stop();
+      }
+      const int seconds = static_cast<int>(
+          (exp_->sim().now() - traffic_start_) / sec(1));
+      out.has_traffic = true;
+      if (seconds > 0) {
+        double total = 0;
+        for (double v : traffic_stats_->mbits_series(seconds)) total += v;
+        out.traffic_mbits = total / seconds;
+      }
+    }
+  }
+
+  const Scenario& scenario_;
+  Rng fault_rng_;
+  std::unique_ptr<sim::Experiment> exp_;
+  faults::ControlPlane cp_;
+  std::unique_ptr<tcp::FlowStats> traffic_stats_;
+  Time traffic_start_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t base_seed, const std::string& topology,
+                         int controllers, int trial) {
+  std::uint64_t h = mix64(base_seed);
+  h = mix64(h ^ fnv1a(topology));
+  h = mix64(h ^ (static_cast<std::uint64_t>(controllers) << 32) ^
+            static_cast<std::uint64_t>(trial));
+  return h;
+}
+
+TrialOutcome run_trial(const Scenario& s, const std::string& topology,
+                       int controllers, int trial, const RunnerOptions& opt) {
+  const std::uint64_t seed =
+      trial_seed(s.base_seed, topology, controllers, trial);
+  TrialExecutor exec(s, topology, controllers, seed, opt);
+  return exec.run();
+}
+
+CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
+  for (const auto& t : s.topologies) (void)topo::by_name(t);  // validate early
+
+  struct GridPoint {
+    std::size_t cell;
+    std::string topology;
+    int controllers;
+    int trial;
+  };
+  std::vector<GridPoint> grid;
+  std::size_t cell = 0;
+  for (const auto& t : s.topologies) {
+    for (int nc : s.controllers) {
+      for (int r = 0; r < s.trials; ++r) grid.push_back({cell, t, nc, r});
+      ++cell;
+    }
+  }
+
+  std::vector<TrialOutcome> outcomes(grid.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= grid.size()) return;
+      const GridPoint& g = grid[i];
+      try {
+        outcomes[i] = run_trial(s, g.topology, g.controllers, g.trial, opt);
+      } catch (const std::exception& e) {
+        outcomes[i].ok = false;
+        outcomes[i].error = e.what();
+      }
+    }
+  };
+  int threads = opt.threads > 0
+                    ? opt.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  threads = std::min<int>(threads, static_cast<int>(grid.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads > 1 ? threads : 0));
+  if (threads <= 1) {
+    worker();
+  } else {
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  // --- Aggregate in grid order (thread-count independent) -----------------
+  CampaignResult result;
+  result.scenario = s.name;
+  result.description = s.description;
+  result.profile = opt.paper_timers ? "paper" : "fast";
+  result.trials_per_cell = s.trials;
+  result.base_seed = s.base_seed;
+
+  std::size_t at = 0;
+  for (const auto& t : s.topologies) {
+    for (int nc : s.controllers) {
+      CellResult cr;
+      cr.topology = t;
+      cr.controllers = nc;
+      Sample messages, commands, violations, traffic;
+      // label -> aggregation slot, in first-seen (timeline) order
+      std::vector<std::string> labels;
+      std::vector<Sample> cp_seconds;
+      std::vector<int> cp_converged, cp_total;
+      for (int r = 0; r < s.trials; ++r, ++at) {
+        const TrialOutcome& out = outcomes[at];
+        if (!out.ok) {
+          cr.errors.push_back("trial " + std::to_string(r) + ": " +
+                              out.error);
+          continue;
+        }
+        ++cr.trials;
+        messages.add(out.messages);
+        commands.add(out.commands);
+        violations.add(out.illegitimate_deletions);
+        if (out.has_traffic) {
+          cr.has_traffic = true;
+          traffic.add(out.traffic_mbits);
+        }
+        for (std::size_t k = 0; k < out.checkpoints.size(); ++k) {
+          const auto& c = out.checkpoints[k];
+          if (k >= labels.size()) {
+            labels.push_back(c.label);
+            cp_seconds.emplace_back();
+            cp_converged.push_back(0);
+            cp_total.push_back(0);
+          }
+          cp_seconds[k].add(c.seconds);
+          cp_converged[k] += c.converged ? 1 : 0;
+          cp_total[k] += 1;
+        }
+      }
+      for (std::size_t k = 0; k < labels.size(); ++k) {
+        CellResult::CheckpointAgg agg;
+        agg.label = labels[k];
+        agg.converged = cp_converged[k];
+        agg.trials = cp_total[k];
+        agg.seconds = cp_seconds[k].percentiles();
+        cr.checkpoints.push_back(std::move(agg));
+      }
+      cr.messages = messages.percentiles();
+      cr.commands = commands.percentiles();
+      cr.illegitimate_deletions = violations.percentiles();
+      cr.traffic_mbits = traffic.percentiles();
+      result.cells.push_back(std::move(cr));
+    }
+  }
+  return result;
+}
+
+Json CampaignResult::to_json() const {
+  Json doc;
+  doc.set("scenario", scenario);
+  doc.set("description", description);
+  doc.set("profile", profile);
+  doc.set("trials_per_cell", trials_per_cell);
+  doc.set("seed", base_seed);
+  Json cells_json{JsonArray{}};
+  for (const CellResult& c : cells) {
+    Json cj;
+    cj.set("topology", c.topology);
+    cj.set("controllers", c.controllers);
+    cj.set("trials", c.trials);
+    Json cps{JsonArray{}};
+    for (const auto& cp : c.checkpoints) {
+      Json j;
+      j.set("label", cp.label);
+      j.set("converged", cp.converged);
+      j.set("trials", cp.trials);
+      j.set("seconds", summary_json(cp.seconds));
+      cps.push_back(std::move(j));
+    }
+    cj.set("checkpoints", std::move(cps));
+    if (!c.errors.empty()) {
+      Json errs{JsonArray{}};
+      for (const auto& e : c.errors) errs.push_back(e);
+      cj.set("errors", std::move(errs));
+    }
+    cj.set("messages", summary_json(c.messages));
+    cj.set("commands", summary_json(c.commands));
+    cj.set("illegitimate_deletions", summary_json(c.illegitimate_deletions));
+    if (c.has_traffic) cj.set("traffic_mbits", summary_json(c.traffic_mbits));
+    cells_json.push_back(std::move(cj));
+  }
+  doc.set("cells", std::move(cells_json));
+  return doc;
+}
+
+}  // namespace ren::scenario

@@ -1,0 +1,103 @@
+// The campaign runner: expands a Scenario over its parameter grid
+// (topology x controller-count x seed), executes the trials on a thread
+// pool — each trial is one single-threaded Experiment, so the paper's
+// interleaving model is preserved inside a trial while the campaign uses
+// every core — and aggregates the per-trial measurements into percentile
+// summaries with a deterministic JSON rendering.
+//
+// Determinism contract: a campaign's JSON output depends only on the
+// scenario (including base_seed) and the timer profile, never on the thread
+// count. Every trial derives its own RNG streams from the (scenario seed,
+// topology, controllers, trial index) tuple, and aggregation happens in grid
+// order after all workers join.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace ren::scenario {
+
+struct RunnerOptions {
+  int threads = 0;  ///< worker count; 0 = hardware concurrency
+  /// false (default): the fast timer profile the test suite uses (task delay
+  /// 50 ms, detection 10 ms) — the algorithm is timer-rate oblivious, so this
+  /// only compresses simulated wall-clock. true: the paper's Section 6.3
+  /// timers (500 ms / 100 ms), for figures meant to match the paper's axes.
+  bool paper_timers = false;
+};
+
+/// One executed trial (a single seeded run of the scenario timeline).
+struct TrialOutcome {
+  struct Checkpoint {
+    std::string label;
+    bool converged = false;
+    double seconds = 0;  ///< convergence time, or the limit when it failed
+  };
+  bool ok = false;    ///< false: the trial threw (error holds the message)
+  std::string error;
+  std::vector<Checkpoint> checkpoints;
+  double messages = 0;   ///< control messages originated by controllers
+  double commands = 0;   ///< controller commands issued
+  double illegitimate_deletions = 0;  ///< deletions that hit live peers
+  bool has_traffic = false;
+  double traffic_mbits = 0;  ///< mean goodput over the traffic window
+};
+
+/// Aggregates for one (topology, controllers) grid cell.
+struct CellResult {
+  std::string topology;
+  int controllers = 0;
+  int trials = 0;  ///< trials that ran to completion
+  struct CheckpointAgg {
+    std::string label;
+    int converged = 0;
+    int trials = 0;
+    PercentileSummary seconds;
+  };
+  std::vector<CheckpointAgg> checkpoints;
+  /// Error messages of trials that threw, in trial order ("trial N: what").
+  /// Such trials are excluded from the aggregates but never silently: they
+  /// are also reported in the JSON output.
+  std::vector<std::string> errors;
+  PercentileSummary messages;
+  PercentileSummary commands;
+  PercentileSummary illegitimate_deletions;
+  bool has_traffic = false;
+  PercentileSummary traffic_mbits;
+};
+
+struct CampaignResult {
+  std::string scenario;
+  std::string description;
+  std::string profile;  ///< "fast" or "paper"
+  int trials_per_cell = 0;
+  std::uint64_t base_seed = 0;
+  std::vector<CellResult> cells;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// The deterministic per-trial seed for one grid point (exposed for tests).
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       const std::string& topology,
+                                       int controllers, int trial);
+
+/// Execute one trial synchronously (exposed for tests and the ported
+/// benches; run_campaign is a thread pool over this).
+[[nodiscard]] TrialOutcome run_trial(const Scenario& s,
+                                     const std::string& topology,
+                                     int controllers, int trial,
+                                     const RunnerOptions& opt);
+
+/// Expand the grid, run every trial (in parallel), aggregate.
+/// Validates topology names up front and throws std::invalid_argument for
+/// unknown ones.
+[[nodiscard]] CampaignResult run_campaign(const Scenario& s,
+                                          const RunnerOptions& opt = {});
+
+}  // namespace ren::scenario

@@ -1,0 +1,241 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ren::scenario {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::KillController: return "kill_controller";
+    case EventKind::KillSwitches: return "kill_switches";
+    case EventKind::FailLinks: return "fail_links";
+    case EventKind::RestoreLinks: return "restore_links";
+    case EventKind::RestartNodes: return "restart_nodes";
+    case EventKind::CorruptAll: return "corrupt_all";
+    case EventKind::Freeze: return "freeze";
+    case EventKind::Unfreeze: return "unfreeze";
+    case EventKind::StartTraffic: return "start_traffic";
+    case EventKind::ExpectConverged: return "expect_converged";
+  }
+  return "?";
+}
+
+EventKind event_kind_from_string(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(EventKind::ExpectConverged); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (s == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown event kind: " + s);
+}
+
+namespace {
+
+Event make_event(Time at, EventKind kind) {
+  Event e;
+  e.at = at;
+  e.kind = kind;
+  return e;
+}
+
+}  // namespace
+
+Scenario& Scenario::expect_converged(Time at, std::string label, Time limit) {
+  Event e = make_event(at, EventKind::ExpectConverged);
+  e.label = std::move(label);
+  e.limit = limit;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::kill_controller(Time at, int count) {
+  Event e = make_event(at, EventKind::KillController);
+  e.count = count;
+  events.push_back(e);
+  return *this;
+}
+
+Scenario& Scenario::kill_switches(Time at, int count) {
+  Event e = make_event(at, EventKind::KillSwitches);
+  e.count = count;
+  events.push_back(e);
+  return *this;
+}
+
+Scenario& Scenario::fail_links(Time at, int count, bool keep_connected) {
+  Event e = make_event(at, EventKind::FailLinks);
+  e.count = count;
+  e.keep_connected = keep_connected;
+  events.push_back(e);
+  return *this;
+}
+
+Scenario& Scenario::restore_links(Time at) {
+  events.push_back(make_event(at, EventKind::RestoreLinks));
+  return *this;
+}
+
+Scenario& Scenario::restart_nodes(Time at) {
+  events.push_back(make_event(at, EventKind::RestartNodes));
+  return *this;
+}
+
+Scenario& Scenario::corrupt_all(Time at) {
+  events.push_back(make_event(at, EventKind::CorruptAll));
+  return *this;
+}
+
+Scenario& Scenario::freeze(Time at) {
+  events.push_back(make_event(at, EventKind::Freeze));
+  return *this;
+}
+
+Scenario& Scenario::unfreeze(Time at) {
+  events.push_back(make_event(at, EventKind::Unfreeze));
+  return *this;
+}
+
+Scenario& Scenario::start_traffic(Time at) {
+  events.push_back(make_event(at, EventKind::StartTraffic));
+  with_hosts = true;
+  return *this;
+}
+
+std::vector<Event> Scenario::sorted_events() const {
+  std::vector<Event> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  return sorted;
+}
+
+bool Scenario::needs_hosts() const {
+  if (with_hosts) return true;
+  return std::any_of(events.begin(), events.end(), [](const Event& e) {
+    return e.kind == EventKind::StartTraffic;
+  });
+}
+
+// --- Spec serialization -----------------------------------------------------
+
+namespace {
+
+/// Spec seeds travel through JSON numbers (doubles); anything above 2^53
+/// would round silently and break the "same seed, same bytes" contract, so
+/// both directions reject it loudly.
+constexpr std::uint64_t kMaxSpecSeed = 1ULL << 53;
+
+void check_seed_fits(std::uint64_t seed) {
+  if (seed > kMaxSpecSeed)
+    throw std::invalid_argument(
+        "spec: seed must be <= 2^53 (JSON numbers cannot hold it exactly)");
+}
+
+}  // namespace
+
+Json to_spec_json(const Scenario& s) {
+  check_seed_fits(s.base_seed);
+  Json doc;
+  doc.set("name", s.name);
+  doc.set("description", s.description);
+  Json topos;
+  for (const auto& t : s.topologies) topos.push_back(t);
+  doc.set("topologies", std::move(topos));
+  Json ctrls;
+  for (int c : s.controllers) ctrls.push_back(c);
+  doc.set("controllers", std::move(ctrls));
+  doc.set("trials", s.trials);
+  doc.set("seed", s.base_seed);
+  if (s.with_hosts) doc.set("with_hosts", true);
+  Json events{JsonArray{}};
+  for (const Event& e : s.events) {
+    Json ev;
+    ev.set("at_ms", e.at / 1000);
+    ev.set("kind", to_string(e.kind));
+    switch (e.kind) {
+      case EventKind::KillController:
+      case EventKind::KillSwitches:
+        ev.set("count", e.count);
+        break;
+      case EventKind::FailLinks:
+        ev.set("count", e.count);
+        if (!e.keep_connected) ev.set("keep_connected", false);
+        break;
+      case EventKind::ExpectConverged:
+        ev.set("label", e.label);
+        ev.set("limit_ms", e.limit / 1000);
+        break;
+      default:
+        break;
+    }
+    events.push_back(std::move(ev));
+  }
+  doc.set("events", std::move(events));
+  return doc;
+}
+
+namespace {
+
+void reject_unknown_keys(const Json& obj, const std::set<std::string>& known,
+                         const std::string& where) {
+  for (const auto& [k, v] : obj.as_object()) {
+    (void)v;
+    if (known.find(k) == known.end())
+      throw std::runtime_error("spec: unknown key \"" + k + "\" in " + where);
+  }
+}
+
+}  // namespace
+
+Scenario parse_spec_json(const Json& doc) {
+  reject_unknown_keys(doc,
+                      {"name", "description", "topologies", "controllers",
+                       "trials", "seed", "with_hosts", "events"},
+                      "scenario");
+  Scenario s;
+  s.name = doc.string_or("name", "unnamed");
+  s.description = doc.string_or("description", "");
+  if (const Json* t = doc.find("topologies")) {
+    s.topologies.clear();
+    for (const Json& v : t->as_array()) s.topologies.push_back(v.as_string());
+  }
+  if (const Json* c = doc.find("controllers")) {
+    s.controllers.clear();
+    for (const Json& v : c->as_array())
+      s.controllers.push_back(static_cast<int>(v.as_number()));
+  }
+  s.trials = static_cast<int>(doc.number_or("trials", s.trials));
+  s.base_seed = static_cast<std::uint64_t>(
+      doc.number_or("seed", static_cast<double>(s.base_seed)));
+  check_seed_fits(s.base_seed);
+  s.with_hosts = doc.bool_or("with_hosts", false);
+  if (const Json* evs = doc.find("events")) {
+    for (const Json& ej : evs->as_array()) {
+      reject_unknown_keys(
+          ej, {"at_ms", "kind", "count", "keep_connected", "label", "limit_ms"},
+          "event");
+      Event e;
+      e.at = msec(static_cast<std::int64_t>(ej.number_or("at_ms", 0)));
+      e.kind = event_kind_from_string(ej.string_or("kind", ""));
+      e.count = static_cast<int>(ej.number_or("count", 1));
+      e.keep_connected = ej.bool_or("keep_connected", true);
+      e.limit =
+          msec(static_cast<std::int64_t>(ej.number_or("limit_ms", 120'000)));
+      e.label = ej.string_or("label", "");
+      if (e.kind == EventKind::StartTraffic) s.with_hosts = true;
+      s.events.push_back(std::move(e));
+    }
+  }
+  if (s.topologies.empty())
+    throw std::runtime_error("spec: topologies must not be empty");
+  if (s.controllers.empty())
+    throw std::runtime_error("spec: controllers must not be empty");
+  if (s.trials <= 0) throw std::runtime_error("spec: trials must be positive");
+  return s;
+}
+
+Scenario parse_spec(const std::string& text) {
+  return parse_spec_json(Json::parse(text));
+}
+
+}  // namespace ren::scenario

@@ -1,0 +1,90 @@
+// The declarative scenario model: a timeline of timed fault/traffic/
+// measurement events plus the parameter axes (topology x controller-count x
+// seed) a campaign sweeps over. Scenarios come from three places: the C++
+// builder API below, the built-in library (scenario/library.hpp), and JSON
+// spec files (parse_spec / to_spec_json round-trip, see README for the spec
+// reference).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "util/types.hpp"
+
+namespace ren::scenario {
+
+enum class EventKind {
+  KillController,   ///< fail-stop `count` random controllers (>=1 survives)
+  KillSwitches,     ///< fail-stop `count` connectivity-preserving switches
+  FailLinks,        ///< permanently fail `count` random links
+  RestoreLinks,     ///< restore every link failed so far
+  RestartNodes,     ///< revive every node killed so far (+ their links)
+  CorruptAll,       ///< transient-fault storm over all live state
+  Freeze,           ///< freeze the controllers' do-forever loops
+  Unfreeze,         ///< resume the controllers
+  StartTraffic,     ///< start the host-pair TCP flow (needs with_hosts)
+  ExpectConverged,  ///< checkpoint: wait for legitimacy, record the time
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] EventKind event_kind_from_string(const std::string& s);
+
+struct Event {
+  Time at = 0;
+  EventKind kind = EventKind::ExpectConverged;
+  int count = 1;               ///< Kill*/FailLinks victim count
+  bool keep_connected = true;  ///< FailLinks: honor the paper's assumption
+  Time limit = sec(120);       ///< ExpectConverged wait bound
+  std::string label;           ///< ExpectConverged checkpoint name
+
+  bool operator==(const Event&) const = default;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  // --- Campaign axes ------------------------------------------------------
+  std::vector<std::string> topologies = {"B4", "Clos", "Telstra"};
+  std::vector<int> controllers = {3};
+  int trials = 8;  ///< seeds base_seed .. base_seed+trials-1 per cell
+  std::uint64_t base_seed = 1;
+
+  bool with_hosts = false;  ///< implied by any StartTraffic event
+  std::vector<Event> events;
+
+  bool operator==(const Scenario&) const = default;
+
+  // --- Builder API (each returns *this for chaining) ----------------------
+  Scenario& expect_converged(Time at, std::string label,
+                             Time limit = sec(120));
+  Scenario& kill_controller(Time at, int count = 1);
+  Scenario& kill_switches(Time at, int count = 1);
+  Scenario& fail_links(Time at, int count = 1, bool keep_connected = true);
+  Scenario& restore_links(Time at);
+  Scenario& restart_nodes(Time at);
+  Scenario& corrupt_all(Time at);
+  Scenario& freeze(Time at);
+  Scenario& unfreeze(Time at);
+  Scenario& start_traffic(Time at);
+
+  /// Events ordered by time; ties keep declaration order (stable), which is
+  /// how e.g. restart_nodes + expect_converged at the same instant compose.
+  [[nodiscard]] std::vector<Event> sorted_events() const;
+
+  [[nodiscard]] bool needs_hosts() const;
+};
+
+/// Serialize to the JSON spec format (times in milliseconds).
+[[nodiscard]] Json to_spec_json(const Scenario& s);
+
+/// Parse a JSON spec document. Unknown keys are rejected so typos in spec
+/// files fail loudly; missing keys take the Scenario defaults. Throws
+/// std::runtime_error / std::invalid_argument on malformed specs.
+[[nodiscard]] Scenario parse_spec(const std::string& text);
+[[nodiscard]] Scenario parse_spec_json(const Json& doc);
+
+}  // namespace ren::scenario

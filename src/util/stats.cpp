@@ -58,6 +58,19 @@ ViolinSummary Sample::violin() const {
   return v;
 }
 
+PercentileSummary Sample::percentiles() const {
+  PercentileSummary p;
+  p.n = values_.size();
+  if (values_.empty()) return p;
+  p.mean = mean();
+  p.min = min();
+  p.p50 = quantile(0.5);
+  p.p90 = quantile(0.9);
+  p.p99 = quantile(0.99);
+  p.max = max();
+  return p;
+}
+
 Sample Sample::drop_extrema() const {
   if (values_.size() <= 2) return Sample{};
   std::vector<double> s = values_;

@@ -16,6 +16,12 @@ struct ViolinSummary {
   std::size_t n = 0;
 };
 
+/// Tail-oriented summary used by the scenario campaign aggregates.
+struct PercentileSummary {
+  double mean = 0, min = 0, p50 = 0, p90 = 0, p99 = 0, max = 0;
+  std::size_t n = 0;
+};
+
 class Sample {
  public:
   Sample() = default;
@@ -35,6 +41,7 @@ class Sample {
   [[nodiscard]] double max() const;
 
   [[nodiscard]] ViolinSummary violin() const;
+  [[nodiscard]] PercentileSummary percentiles() const;
 
   /// The paper dismisses the two extrema from 20 measurements before
   /// averaging (Section 6.4); this returns a copy with min & max removed.

@@ -1,0 +1,243 @@
+// Scenario engine: JSON plumbing, spec round-trips, restart/restore fault
+// bookkeeping, and the campaign runner's thread-count determinism contract.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_helpers.hpp"
+
+namespace ren {
+namespace {
+
+using scenario::Json;
+using scenario::Scenario;
+
+// --- JSON -------------------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"name":"x","n":3,"f":1.5,"flag":true,"none":null,)"
+      R"("arr":[1,2,3],"nested":{"s":"a\nb"}})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.string_or("name", ""), "x");
+  EXPECT_EQ(doc.number_or("n", 0), 3);
+  EXPECT_EQ(doc.number_or("f", 0), 1.5);
+  EXPECT_TRUE(doc.bool_or("flag", false));
+  EXPECT_TRUE(doc.find("none")->is_null());
+  EXPECT_EQ(doc.find("arr")->as_array().size(), 3u);
+  EXPECT_EQ(doc.find("nested")->find("s")->as_string(), "a\nb");
+  // dump -> parse -> dump is a fixed point.
+  const std::string once = doc.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nope"), std::runtime_error);
+  // Malformed numbers must not be silently prefix-parsed.
+  EXPECT_THROW(Json::parse("[1.2.3]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1-2]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1e]"), std::runtime_error);
+}
+
+// --- Spec round-trip --------------------------------------------------------
+
+TEST(ScenarioSpec, BuiltinsRoundTrip) {
+  for (const auto& name : scenario::builtin_names()) {
+    const Scenario original = scenario::builtin(name);
+    const std::string spec = scenario::to_spec_json(original).pretty();
+    const Scenario reparsed = scenario::parse_spec(spec);
+    EXPECT_EQ(original, reparsed) << "round-trip changed scenario " << name;
+  }
+}
+
+TEST(ScenarioSpec, BuilderEventsSurviveRoundTrip) {
+  Scenario s;
+  s.name = "custom";
+  s.description = "desc";
+  s.topologies = {"B4"};
+  s.controllers = {3, 5};
+  s.trials = 3;
+  s.base_seed = 42;
+  s.expect_converged(sec(0), "bootstrap", sec(90))
+      .fail_links(sec(2), 2, /*keep_connected=*/false)
+      .kill_switches(sec(3), 2)
+      .corrupt_all(sec(4))
+      .freeze(sec(5))
+      .unfreeze(sec(6))
+      .restore_links(sec(7))
+      .restart_nodes(sec(7))
+      .start_traffic(sec(8))
+      .expect_converged(sec(9), "end", sec(60));
+  const Scenario reparsed = scenario::parse_spec(scenario::to_spec_json(s).dump());
+  EXPECT_EQ(s, reparsed);
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysAndKinds) {
+  EXPECT_THROW(scenario::parse_spec(R"({"name":"x","bogus":1})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      scenario::parse_spec(R"({"events":[{"kind":"explode_switch"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec(R"({"trials":0})"), std::runtime_error);
+  EXPECT_THROW(scenario::parse_spec(R"({"topologies":[]})"),
+               std::runtime_error);
+}
+
+TEST(ScenarioSpec, UnknownBuiltinThrows) {
+  EXPECT_THROW(scenario::builtin("does_not_exist"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RejectsSeedsBeyondDoublePrecision) {
+  Scenario s;
+  s.base_seed = (1ULL << 53) + 1;  // not representable as a double
+  EXPECT_THROW(scenario::to_spec_json(s), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec(R"({"seed":1e17})"), std::invalid_argument);
+  EXPECT_EQ(scenario::parse_spec(R"({"seed":123})").base_seed, 123u);
+}
+
+TEST(ScenarioSpec, SortedEventsIsStableOnTies) {
+  Scenario s;
+  s.restart_nodes(sec(5));
+  s.expect_converged(sec(5), "after_restart");
+  const auto sorted = s.sorted_events();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].kind, scenario::EventKind::RestartNodes);
+  EXPECT_EQ(sorted[1].kind, scenario::EventKind::ExpectConverged);
+}
+
+// --- Restart / restore bookkeeping -----------------------------------------
+
+TEST(FaultRestore, ControllerRestartRestoresLinksAndConverges) {
+  sim::Experiment exp(testing::fast_config("B4", 3));
+  testing::bootstrap_or_fail(exp);
+  auto cp = exp.control_plane();
+
+  const NodeId victim = faults::kill_random_controller(cp, exp.fault_rng());
+  ASSERT_NE(victim, kNoNode);
+  EXPECT_FALSE(exp.sim().node(victim).alive());
+  ASSERT_EQ(cp.killed_nodes.size(), 1u);
+
+  // Let the survivors absorb the failure, then revive.
+  exp.sim().run_until(exp.sim().now() + sec(5));
+  ASSERT_TRUE(faults::restart_node(cp, victim));
+  EXPECT_TRUE(exp.sim().node(victim).alive());
+  EXPECT_TRUE(cp.killed_nodes.empty());
+  // The kill's collateral link damage is undone.
+  for (const auto& e : exp.sim().network().adjacency(victim)) {
+    EXPECT_NE(exp.sim().network().link(e.link).state(),
+              net::LinkState::PermanentDown);
+  }
+  const auto rec = exp.run_until_legitimate(sec(60));
+  EXPECT_TRUE(rec.converged) << rec.last_reason;
+}
+
+TEST(FaultRestore, RestartIsNoOpOnLiveNode) {
+  sim::Experiment exp(testing::fast_config("B4", 3));
+  auto cp = exp.control_plane();
+  EXPECT_FALSE(faults::restart_node(cp, exp.controller(0).id()));
+}
+
+TEST(FaultRestore, FailAndRestoreLinkRoundTrip) {
+  sim::Experiment exp(testing::fast_config("B4", 3));
+  testing::bootstrap_or_fail(exp);
+  auto cp = exp.control_plane();
+
+  const auto link = faults::fail_random_link(cp, exp.fault_rng());
+  ASSERT_NE(link.first, kNoNode);
+  EXPECT_FALSE(exp.sim().network().link_connected(link.first, link.second));
+  ASSERT_EQ(cp.failed_links.size(), 1u);
+
+  EXPECT_TRUE(faults::restore_link(cp, link.first, link.second));
+  EXPECT_TRUE(exp.sim().network().link_operational(link.first, link.second));
+  EXPECT_TRUE(cp.failed_links.empty());
+  // Restoring an up link reports false.
+  EXPECT_FALSE(faults::restore_link(cp, link.first, link.second));
+
+  const auto rec = exp.run_until_legitimate(sec(60));
+  EXPECT_TRUE(rec.converged) << rec.last_reason;
+}
+
+TEST(FaultRestore, StaleTimersDoNotFireAfterRevive) {
+  // A timer chain scheduled before the crash must stay dead after the
+  // revival (otherwise every kill+restart doubles the do-forever rate).
+  sim::Experiment exp(testing::fast_config("B4", 3));
+  testing::bootstrap_or_fail(exp);
+  auto cp = exp.control_plane();
+  const NodeId victim = faults::kill_random_controller(cp, exp.fault_rng());
+  ASSERT_NE(victim, kNoNode);
+  faults::restart_node(cp, victim);
+
+  const auto& counters = exp.sim().counters();
+  const auto idx = static_cast<std::size_t>(victim);
+  const std::uint64_t before = counters.iterations[idx];
+  const Time window = sec(5);
+  exp.sim().run_until(exp.sim().now() + window);
+  const std::uint64_t iters = counters.iterations[idx] - before;
+  const auto expected =
+      static_cast<std::uint64_t>(window / exp.config().task_delay);
+  EXPECT_LE(iters, expected + 2);  // one chain, not two
+  EXPECT_GE(iters, expected - 2);
+}
+
+// --- Campaign runner --------------------------------------------------------
+
+Scenario quick_scenario() {
+  Scenario s;
+  s.name = "quick";
+  s.description = "kill one controller, expect recovery";
+  s.topologies = {"B4", "Clos"};
+  s.controllers = {3};
+  s.trials = 4;
+  s.expect_converged(sec(0), "bootstrap", sec(60));
+  s.kill_controller(sec(2));
+  s.expect_converged(sec(2), "recovery", sec(60));
+  return s;
+}
+
+TEST(CampaignRunner, TrialSeedsAreDistinctAndStable) {
+  const auto a = scenario::trial_seed(1, "B4", 3, 0);
+  EXPECT_EQ(a, scenario::trial_seed(1, "B4", 3, 0));
+  EXPECT_NE(a, scenario::trial_seed(1, "B4", 3, 1));
+  EXPECT_NE(a, scenario::trial_seed(1, "B4", 5, 0));
+  EXPECT_NE(a, scenario::trial_seed(1, "Clos", 3, 0));
+  EXPECT_NE(a, scenario::trial_seed(2, "B4", 3, 0));
+}
+
+TEST(CampaignRunner, AggregatesConvergedTrials) {
+  scenario::RunnerOptions opt;
+  opt.threads = 2;
+  const auto result = scenario::run_campaign(quick_scenario(), opt);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.trials, 4);
+    ASSERT_EQ(cell.checkpoints.size(), 2u);
+    EXPECT_EQ(cell.checkpoints[0].label, "bootstrap");
+    EXPECT_EQ(cell.checkpoints[1].label, "recovery");
+    EXPECT_EQ(cell.checkpoints[1].converged, 4) << cell.topology;
+    EXPECT_GT(cell.messages.mean, 0);
+  }
+}
+
+TEST(CampaignRunner, JsonIsIdenticalAcrossThreadCounts) {
+  const Scenario s = quick_scenario();
+  scenario::RunnerOptions serial;
+  serial.threads = 1;
+  scenario::RunnerOptions parallel;
+  parallel.threads =
+      std::max(2u, std::thread::hardware_concurrency());
+  const std::string a = scenario::run_campaign(s, serial).to_json().pretty();
+  const std::string b = scenario::run_campaign(s, parallel).to_json().pretty();
+  EXPECT_EQ(a, b);
+}
+
+TEST(CampaignRunner, RejectsUnknownTopology) {
+  Scenario s = quick_scenario();
+  s.topologies = {"Atlantis"};
+  EXPECT_THROW(scenario::run_campaign(s, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ren
