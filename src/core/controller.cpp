@@ -149,11 +149,16 @@ void Controller::iterate() {
     ResView fusion = build_fusion();
     const bool topo_stable = fusion.view == res_prev.view;
     const ResView& refer = topo_stable ? res_prev : res_curr;
-    fusion_view_ = fusion.view;
+    if (!(fusion_view_ == fusion.view)) {
+      fusion_view_ = fusion.view;
+      ++change_epoch_;
+    }
 
     // myRules() for the reference view; also drives the controller's own
     // first-hop routing.
+    const flows::CompiledFlowsPtr prior_flows = current_flows_;
     current_flows_ = compiler_.compile_cached(refer.view, id(), refer.transit);
+    if (current_flows_ != prior_flows) ++change_epoch_;
     rebuild_merged_rules(refer);
 
     // Lines 14-18: per-switch command preparation.
@@ -275,6 +280,7 @@ void Controller::rebuild_merged_rules(const ResView& refer) {
     return;
   merged_fingerprint_ = fp;
   merged_revision_ = data_flow_revision_;
+  ++change_epoch_;
   merged_rules_.clear();
   if (data_flows_.empty()) return;  // rules_for_switch falls through
 
@@ -316,6 +322,7 @@ proto::RuleListPtr Controller::rules_for_switch(NodeId j) {
 void Controller::register_data_flow(const DataFlowSpec& spec) {
   data_flows_.push_back(spec);
   ++data_flow_revision_;
+  ++change_epoch_;
 }
 
 // --- Message handling --------------------------------------------------------
@@ -418,6 +425,7 @@ void Controller::corrupt_state(Rng& rng, NodeId node_space) {
   if (rng.chance(0.5)) last_port_.clear();
   merged_fingerprint_ = 0;
   merged_revision_ = ~0ULL;
+  ++change_epoch_;  // corruption may have touched anything
 }
 
 }  // namespace ren::core

@@ -98,6 +98,16 @@ class Controller : public net::Node {
   }
   [[nodiscard]] const transport::Endpoint& endpoint() const { return endpoint_; }
 
+  /// Monitor-relevant change epoch: bumps when the fused view, the compiled
+  /// flows, the merged rules or the registered data flows change. Steady
+  /// iterations that re-derive identical state leave it untouched, which is
+  /// what lets the legitimacy monitor skip re-validating this controller.
+  [[nodiscard]] std::uint64_t change_epoch() const { return change_epoch_; }
+  /// Bumped per register_data_flow (part of the monitor's reference key).
+  [[nodiscard]] std::uint64_t data_flow_revision() const {
+    return data_flow_revision_;
+  }
+
   /// Install a truth oracle used only for *accounting* illegitimate
   /// deletions (Theorem 1 experiments); never feeds the algorithm.
   void set_liveness_oracle(std::function<bool(NodeId)> is_live_controller) {
@@ -158,6 +168,7 @@ class Controller : public net::Node {
   std::uint64_t merged_revision_ = ~0ULL;
 
   bool frozen_ = false;
+  std::uint64_t change_epoch_ = 0;
   ControllerStats stats_;
   std::function<bool(NodeId)> liveness_oracle_;
 };

@@ -1,6 +1,7 @@
 #include "core/legitimacy.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "flows/resilient_paths.hpp"
 
@@ -31,7 +32,7 @@ std::vector<switchd::AbstractSwitch*> LegitimacyMonitor::live_switches() const {
   return out;
 }
 
-flows::TopoView LegitimacyMonitor::true_view() const {
+flows::TopoView LegitimacyMonitor::build_truth() const {
   flows::TopoView truth;
   std::vector<NodeId> nodes;
   for (const auto* c : controllers_) {
@@ -53,52 +54,182 @@ flows::TopoView LegitimacyMonitor::true_view() const {
   return truth;
 }
 
+const flows::TopoView& LegitimacyMonitor::true_view() const {
+  const std::uint64_t topo = sim_.network().epoch();
+  if (!truth_valid_ || truth_epoch_ != topo) {
+    truth_ = build_truth();
+    truth_epoch_ = topo;
+    truth_valid_ = true;
+    ++stats_.truth_rebuilds;
+  }
+  return truth_;
+}
+
+std::uint64_t LegitimacyMonitor::stack_epoch() const {
+  // Sum of monotonic counters: strictly increases whenever any one bumps.
+  std::uint64_t e = sim_.network().epoch();
+  for (const Controller* c : controllers_) e += c->change_epoch();
+  for (const auto* s : switches_) e += s->change_epoch();
+  return e;
+}
+
+std::uint64_t LegitimacyMonitor::walk_epoch() const {
+  // Walks read topology, controller flows and rule content — but never the
+  // manager sets, so manager churn must not invalidate the walk memo.
+  std::uint64_t e = sim_.network().epoch();
+  for (const Controller* c : controllers_) e += c->change_epoch();
+  for (const auto* s : switches_) e += s->rule_table().epoch();
+  return e;
+}
+
+std::uint64_t LegitimacyMonitor::live_signature() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Controller* c : controllers_) {
+    if (!c->alive()) continue;
+    h ^= static_cast<std::uint64_t>(c->id()) + 1;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 LegitimacyMonitor::Status LegitimacyMonitor::check() {
+  ++stats_.checks;
+  Status st;
+  if (!config_.incremental) {
+    ++stats_.full_evaluations;
+    st = check_full();
+  } else if (const std::uint64_t epoch = stack_epoch();
+             verdict_valid_ && epoch == verdict_epoch_) {
+    ++stats_.short_circuits;
+    st = verdict_;
+  } else {
+    ++stats_.full_evaluations;
+    st = evaluate(true_view(), /*fresh=*/false);
+    verdict_ = st;
+    verdict_epoch_ = epoch;
+    verdict_valid_ = true;
+  }
+  if (config_.paranoid) {
+    ++stats_.paranoid_shadows;
+    const Status full = check_full();
+    if (full.legitimate != st.legitimate) {
+      throw std::logic_error(
+          "legitimacy divergence: incremental says " +
+          std::string(st.legitimate ? "legitimate" : ("\"" + st.reason + "\"")) +
+          ", full check says " +
+          std::string(full.legitimate ? "legitimate"
+                                      : ("\"" + full.reason + "\"")));
+    }
+  }
+  return st;
+}
+
+LegitimacyMonitor::Status LegitimacyMonitor::check_full() {
+  const flows::TopoView truth = build_truth();
+  ++stats_.truth_rebuilds;
+  return evaluate(truth, /*fresh=*/true);
+}
+
+LegitimacyMonitor::Status LegitimacyMonitor::evaluate(
+    const flows::TopoView& truth, bool fresh) {
   const auto live = live_controllers();
   if (live.empty()) return {false, "no live controller"};
-  const flows::TopoView truth = true_view();
 
-  if (Status s = check_views(truth); !s.legitimate) return s;
-  if (Status s = check_managers(); !s.legitimate) return s;
+  if (Status s = check_views(truth, fresh); !s.legitimate) return s;
+  if (Status s = check_managers(fresh); !s.legitimate) return s;
   if (config_.check_rule_content) {
-    if (Status s = check_rules(truth); !s.legitimate) return s;
+    if (Status s = check_rules(truth, fresh); !s.legitimate) return s;
   }
   if (config_.check_rule_walk) {
-    if (Status s = check_walks(truth); !s.legitimate) return s;
+    if (Status s = check_walks(truth, fresh); !s.legitimate) return s;
   }
   return {true, ""};
 }
 
 LegitimacyMonitor::Status LegitimacyMonitor::check_views(
-    const flows::TopoView& truth) {
+    const flows::TopoView& truth, bool fresh) {
+  const std::uint64_t topo = sim_.network().epoch();
   for (Controller* c : live_controllers()) {
-    if (!(c->fused_view() == truth)) {
-      return {false,
-              "controller " + std::to_string(c->id()) + " view != Gc"};
+    if (!fresh) {
+      const auto memo = views_ok_.find(c->id());
+      if (memo != views_ok_.end() &&
+          memo->second == std::make_pair(c->change_epoch(), topo))
+        continue;
     }
+    ++stats_.view_compares;
+    if (!(c->fused_view() == truth)) {
+      return {false, "controller " + std::to_string(c->id()) + " view != Gc"};
+    }
+    if (!fresh) views_ok_[c->id()] = {c->change_epoch(), topo};
   }
   return {true, ""};
 }
 
-LegitimacyMonitor::Status LegitimacyMonitor::check_managers() {
+LegitimacyMonitor::Status LegitimacyMonitor::check_managers(bool fresh) {
   std::vector<NodeId> expected;
   for (Controller* c : live_controllers()) expected.push_back(c->id());
   std::sort(expected.begin(), expected.end());
+  const std::uint64_t live_sig = live_signature();
   for (auto* s : live_switches()) {
+    if (!fresh) {
+      const auto memo = managers_ok_.find(s->id());
+      if (memo != managers_ok_.end() &&
+          memo->second == std::make_pair(s->manager_epoch(), live_sig))
+        continue;
+    }
+    ++stats_.manager_checks;
     std::vector<NodeId> got = s->managers();
     std::sort(got.begin(), got.end());
     if (got != expected) {
       return {false, "switch " + std::to_string(s->id()) +
                          " managers != live controllers"};
     }
+    if (!fresh) managers_ok_[s->id()] = {s->manager_epoch(), live_sig};
   }
   return {true, ""};
 }
 
+const std::map<NodeId, proto::RuleListPtr>& LegitimacyMonitor::reference_rules(
+    Controller* c, const flows::TopoView& truth,
+    const std::map<NodeId, bool>& transit, bool fresh) {
+  const std::uint64_t fp = truth.fingerprint();
+  ReferenceCache& rc = reference_[c->id()];
+  if (!fresh && rc.truth_fingerprint == fp &&
+      rc.data_flow_revision == c->data_flow_revision() && !rc.per_switch.empty()) {
+    return rc.per_switch;
+  }
+  ++stats_.reference_compiles;
+  // Reference compilation, merged with the controller's data flows exactly
+  // like Controller::rebuild_merged_rules does.
+  const auto expected = compiler_.compile_cached(truth, c->id(), transit);
+  std::map<NodeId, proto::RuleListPtr> out;
+  if (c->data_flows().empty()) {
+    out = expected->per_switch;
+  } else {
+    std::map<NodeId, proto::RuleList> building;
+    for (const auto& [sid, list] : expected->per_switch) building[sid] = *list;
+    for (const auto& spec : c->data_flows()) {
+      flows::DataFlow df = compiler_.compile_data_flow(
+          truth, c->id(), spec.host_a, spec.attach_a, spec.host_b,
+          spec.attach_b, transit);
+      for (const auto& [sid, list] : df.per_switch) {
+        auto& dst = building[sid];
+        dst.insert(dst.end(), list->begin(), list->end());
+      }
+    }
+    for (auto& [sid, list] : building) {
+      std::sort(list.begin(), list.end(), flows::rule_order);
+      out[sid] = std::make_shared<const proto::RuleList>(std::move(list));
+    }
+  }
+  rc.truth_fingerprint = fp;
+  rc.data_flow_revision = c->data_flow_revision();
+  rc.per_switch = std::move(out);
+  return rc.per_switch;
+}
+
 LegitimacyMonitor::Status LegitimacyMonitor::check_rules(
-    const flows::TopoView& truth) {
-  // Reference compilation per live controller, merged with its data flows
-  // exactly like Controller::rebuild_merged_rules does.
+    const flows::TopoView& truth, bool fresh) {
   std::map<NodeId, bool> transit;
   for (const auto* c : controllers_) {
     if (c->alive()) transit[c->id()] = false;
@@ -110,38 +241,28 @@ LegitimacyMonitor::Status LegitimacyMonitor::check_rules(
   std::vector<NodeId> live_ids;
   for (Controller* c : live_controllers()) live_ids.push_back(c->id());
   std::sort(live_ids.begin(), live_ids.end());
+  const std::uint64_t live_sig = live_signature();
+
+  // Rule owners must be exactly the live controllers, at every live switch.
+  for (auto* s : live_switches()) {
+    if (!fresh) {
+      const auto memo = owners_ok_.find(s->id());
+      if (memo != owners_ok_.end() &&
+          memo->second == std::make_pair(s->rule_table().epoch(), live_sig))
+        continue;
+    }
+    std::vector<NodeId> owners = s->rule_table().owners();
+    std::sort(owners.begin(), owners.end());
+    if (owners != live_ids) {
+      return {false, "switch " + std::to_string(s->id()) +
+                         " rule owners != live controllers"};
+    }
+    if (!fresh) owners_ok_[s->id()] = {s->rule_table().epoch(), live_sig};
+  }
 
   for (Controller* c : live_controllers()) {
-    const auto expected = compiler_.compile_cached(truth, c->id(), transit);
-    // Merge registered data flows (if any).
-    std::map<NodeId, proto::RuleListPtr> merged;
-    if (!c->data_flows().empty()) {
-      std::map<NodeId, proto::RuleList> building;
-      for (const auto& [sid, list] : expected->per_switch) building[sid] = *list;
-      for (const auto& spec : c->data_flows()) {
-        flows::DataFlow df = compiler_.compile_data_flow(
-            truth, c->id(), spec.host_a, spec.attach_a, spec.host_b,
-            spec.attach_b, transit);
-        for (const auto& [sid, list] : df.per_switch) {
-          auto& dst = building[sid];
-          dst.insert(dst.end(), list->begin(), list->end());
-        }
-      }
-      for (auto& [sid, list] : building) {
-        std::sort(list.begin(), list.end(), flows::rule_order);
-        merged[sid] = std::make_shared<const proto::RuleList>(std::move(list));
-      }
-    }
-    const auto& per_switch = c->data_flows().empty() ? expected->per_switch : merged;
-
+    const auto& per_switch = reference_rules(c, truth, transit, fresh);
     for (auto* s : live_switches()) {
-      // Rule owners must be exactly the live controllers.
-      std::vector<NodeId> owners = s->rule_table().owners();
-      std::sort(owners.begin(), owners.end());
-      if (owners != live_ids) {
-        return {false, "switch " + std::to_string(s->id()) +
-                           " rule owners != live controllers"};
-      }
       const proto::RuleListPtr actual = s->rule_table().newest_rules_of(c->id());
       auto want_it = per_switch.find(s->id());
       const proto::RuleListPtr want =
@@ -154,39 +275,31 @@ LegitimacyMonitor::Status LegitimacyMonitor::check_rules(
                            std::to_string(c->id())};
       }
       const auto key = std::make_pair(s->id(), c->id());
-      auto memo = verified_.find(key);
-      if (memo != verified_.end() && memo->second == actual.get()) continue;
+      if (!fresh) {
+        const auto memo = verified_.find(key);
+        if (memo != verified_.end() && memo->second.first == actual &&
+            memo->second.second == want)
+          continue;
+      }
+      ++stats_.rule_compares;
       if (*actual != *want) {
         return {false, "switch " + std::to_string(s->id()) +
                            " stale rules of " + std::to_string(c->id())};
       }
-      verified_[key] = actual.get();
+      if (!fresh) verified_[key] = {actual, want};
     }
   }
   return {true, ""};
 }
 
-namespace {
-
-std::uint64_t link_state_hash(const net::Simulator& sim) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const net::Network& net = sim.network();
-  for (std::size_t i = 0; i < net.link_count(); ++i) {
-    h ^= static_cast<std::uint64_t>(net.link(static_cast<int>(i)).state()) + i;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
 LegitimacyMonitor::Status LegitimacyMonitor::check_walks(
-    const flows::TopoView& truth) {
-  const std::uint64_t fp = truth.fingerprint();
-  const std::uint64_t ls = link_state_hash(sim_);
-  if (walk_ok_valid_ && walk_ok_fingerprint_ == fp && walk_ok_linkstate_ == ls) {
-    return {true, ""};
+    const flows::TopoView& truth, bool fresh) {
+  std::uint64_t we = 0;
+  if (!fresh) {
+    we = walk_epoch();
+    if (walk_ok_valid_ && walk_ok_epoch_ == we) return {true, ""};
   }
+  ++stats_.walk_sweeps;
 
   std::map<NodeId, switchd::AbstractSwitch*> switch_by_id;
   for (auto* s : live_switches()) switch_by_id[s->id()] = s;
@@ -251,9 +364,10 @@ LegitimacyMonitor::Status LegitimacyMonitor::check_walks(
       }
     }
   }
-  walk_ok_valid_ = true;
-  walk_ok_fingerprint_ = fp;
-  walk_ok_linkstate_ = ls;
+  if (!fresh) {
+    walk_ok_valid_ = true;
+    walk_ok_epoch_ = we;
+  }
   return {true, ""};
 }
 

@@ -15,6 +15,18 @@
 // The monitor is a *measurement* device: it reads global simulator truth
 // that no protocol participant has access to, and is used by the harness to
 // timestamp convergence (bootstrap & recovery experiments).
+//
+// Incremental checking: every layer of the stack carries a monotonic change
+// epoch (net::Network for topology + liveness, core::Controller for its
+// fused view / compiled flows, switchd for manager sets + rule content).
+// The monitor sums them into stack_epoch(); an unchanged sum means nothing
+// the verdict depends on has changed, so check() replays the cached verdict
+// in O(controllers + switches) pointer reads. When something did change,
+// per-item memos (per-controller view, per-switch managers/owners, per
+// (switch, controller) rule list, cached ground truth and reference
+// compilations) confine the work to the changed slice. Config::paranoid
+// shadows every incremental verdict with a fresh full evaluation and throws
+// on divergence — the differential harness used by tests and CI.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +48,12 @@ class LegitimacyMonitor {
     int kappa = 2;
     bool check_rule_content = true;
     bool check_rule_walk = true;
+    /// Epoch-gated incremental verification (false = every check() is a
+    /// fresh full evaluation, the pre-epoch behavior).
+    bool incremental = true;
+    /// Differential-test mode: run the full check alongside the incremental
+    /// one on every sample and throw std::logic_error when verdicts diverge.
+    bool paranoid = false;
   };
 
   LegitimacyMonitor(net::Simulator& sim, std::vector<Controller*> controllers,
@@ -47,35 +65,105 @@ class LegitimacyMonitor {
     std::string reason;  ///< first failed condition, empty when legitimate
   };
 
-  /// Evaluate Definition 1 against the current global state.
+  /// Work counters (what the incremental machinery actually had to do).
+  struct Stats {
+    std::uint64_t checks = 0;             ///< check() calls
+    std::uint64_t short_circuits = 0;     ///< verdicts replayed, epoch unchanged
+    std::uint64_t full_evaluations = 0;   ///< non-short-circuited evaluations
+    std::uint64_t truth_rebuilds = 0;     ///< true_view() recomputations
+    std::uint64_t view_compares = 0;      ///< controller-view equality checks
+    std::uint64_t manager_checks = 0;     ///< per-switch manager validations
+    std::uint64_t reference_compiles = 0; ///< reference (re)compilations
+    std::uint64_t rule_compares = 0;      ///< deep rule-list content compares
+    std::uint64_t walk_sweeps = 0;        ///< full rule-walk sweeps
+    std::uint64_t paranoid_shadows = 0;   ///< differential full checks run
+  };
+
+  /// Evaluate Definition 1 against the current global state (incremental
+  /// when configured; throws std::logic_error on a paranoid divergence).
   [[nodiscard]] Status check();
 
+  /// Fresh, memo-free evaluation of Definition 1 — the ground truth the
+  /// paranoid mode compares against, and the baseline the benches time.
+  [[nodiscard]] Status check_full();
+
+  /// Sum of every tracked change epoch below the monitor. Strictly
+  /// increases whenever any tracked state mutates; an unchanged value
+  /// guarantees an unchanged verdict. Harnesses use it to gate sampling.
+  [[nodiscard]] std::uint64_t stack_epoch() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   /// The real control-plane topology (live controllers + switches, links in
-  /// Gc). Hosts are not part of the control plane.
-  [[nodiscard]] flows::TopoView true_view() const;
+  /// Gc). Hosts are not part of the control plane. Cached per topology
+  /// epoch; the reference is valid until the next topology change.
+  [[nodiscard]] const flows::TopoView& true_view() const;
 
   [[nodiscard]] std::vector<Controller*> live_controllers() const;
   [[nodiscard]] std::vector<switchd::AbstractSwitch*> live_switches() const;
 
  private:
-  [[nodiscard]] Status check_views(const flows::TopoView& truth);
-  [[nodiscard]] Status check_managers();
-  [[nodiscard]] Status check_rules(const flows::TopoView& truth);
-  [[nodiscard]] Status check_walks(const flows::TopoView& truth);
+  /// `fresh` disables every cross-sample memo (the full-check path).
+  [[nodiscard]] Status evaluate(const flows::TopoView& truth, bool fresh);
+  [[nodiscard]] Status check_views(const flows::TopoView& truth, bool fresh);
+  [[nodiscard]] Status check_managers(bool fresh);
+  [[nodiscard]] Status check_rules(const flows::TopoView& truth, bool fresh);
+  [[nodiscard]] Status check_walks(const flows::TopoView& truth, bool fresh);
+
+  [[nodiscard]] flows::TopoView build_truth() const;
+  /// FNV hash of the live controller id set (memo key component).
+  [[nodiscard]] std::uint64_t live_signature() const;
+  /// Epoch over everything rule walks depend on: topology + controller
+  /// flows + rule content (manager churn excluded — walks never read it).
+  [[nodiscard]] std::uint64_t walk_epoch() const;
+  /// The reference per-switch rule lists controller `c` must have installed
+  /// given `truth` (control flows merged with its registered data flows).
+  [[nodiscard]] const std::map<NodeId, proto::RuleListPtr>& reference_rules(
+      Controller* c, const flows::TopoView& truth,
+      const std::map<NodeId, bool>& transit, bool fresh);
 
   net::Simulator& sim_;
   std::vector<Controller*> controllers_;
   std::vector<switchd::AbstractSwitch*> switches_;
   Config config_;
   flows::RuleCompiler compiler_;
+  mutable Stats stats_;  ///< true_view() is const but counts rebuilds
 
-  // (switch, cid) -> last rule-list pointer verified as correct; skips
-  // re-verification of unchanged immutable lists.
-  std::map<std::pair<NodeId, NodeId>, const void*> verified_;
-  // Rule-walk memo: walks are deterministic given topology + link states.
-  std::uint64_t walk_ok_fingerprint_ = 0;
-  std::uint64_t walk_ok_linkstate_ = 0;
+  // --- Cross-sample incremental state --------------------------------------
+  // Global verdict cache: valid while stack_epoch() is unchanged.
+  bool verdict_valid_ = false;
+  std::uint64_t verdict_epoch_ = 0;
+  Status verdict_;
+
+  // Ground truth cached per topology epoch (mutable: true_view() is const).
+  mutable bool truth_valid_ = false;
+  mutable std::uint64_t truth_epoch_ = 0;
+  mutable flows::TopoView truth_;
+
+  // cid -> (controller epoch, topology epoch) of the last passing compare.
+  std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> views_ok_;
+  // sid -> (manager epoch, live signature) of the last passing check.
+  std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> managers_ok_;
+  // sid -> (rule epoch, live signature) of the last passing owners check.
+  std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> owners_ok_;
+  // Per-controller reference compilation keyed on (truth fingerprint,
+  // data-flow revision); holds the merged per-switch lists.
+  struct ReferenceCache {
+    std::uint64_t truth_fingerprint = 0;
+    std::uint64_t data_flow_revision = 0;
+    std::map<NodeId, proto::RuleListPtr> per_switch;
+  };
+  std::map<NodeId, ReferenceCache> reference_;
+  // (switch, cid) -> (installed list, reference list) verified equal. Both
+  // pointers are pinned so allocator reuse can never alias a stale entry;
+  // keying on the reference too invalidates the memo when the truth moved
+  // even though the switch still holds its old (now stale) rules.
+  std::map<std::pair<NodeId, NodeId>,
+           std::pair<proto::RuleListPtr, proto::RuleListPtr>>
+      verified_;
+  // Rule-walk memo: valid while walk_epoch() is unchanged.
   bool walk_ok_valid_ = false;
+  std::uint64_t walk_ok_epoch_ = 0;
 };
 
 }  // namespace ren::core

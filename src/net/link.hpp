@@ -56,7 +56,15 @@ class Link {
   }
   /// True when packets can actually traverse the link right now.
   [[nodiscard]] bool passes_traffic() const { return state_ == LinkState::Up; }
-  void set_state(LinkState s) { state_ = s; }
+  void set_state(LinkState s) {
+    if (s == state_) return;
+    state_ = s;
+    if (epoch_hook_ != nullptr) ++*epoch_hook_;
+  }
+
+  /// Wire the owning Network's topology epoch into this link so that every
+  /// state transition bumps it, no matter which layer flips the state.
+  void attach_epoch(std::uint64_t* epoch) { epoch_hook_ = epoch; }
 
   /// Outcome of pushing one packet onto a direction of the link.
   struct TxPlan {
@@ -77,6 +85,7 @@ class Link {
   NodeId a_, b_;
   LinkParams params_;
   LinkState state_ = LinkState::Up;
+  std::uint64_t* epoch_hook_ = nullptr;  ///< owning Network's topology epoch
   std::array<Time, 2> busy_until_{0, 0};
 };
 

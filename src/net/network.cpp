@@ -17,8 +17,10 @@ int Network::add_link(NodeId a, NodeId b, const LinkParams& params) {
     throw std::invalid_argument("add_link: duplicate link");
   const int index = static_cast<int>(links_.size());
   links_.emplace_back(index, a, b, params);
+  links_.back().attach_epoch(&epoch_);
   adjacency_[static_cast<std::size_t>(a)].push_back(Edge{b, index});
   adjacency_[static_cast<std::size_t>(b)].push_back(Edge{a, index});
+  ++epoch_;
   return index;
 }
 

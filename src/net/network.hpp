@@ -3,8 +3,15 @@
 // Terminology follows the paper: Gc (connected communication topology) is
 // the set of links that have not failed permanently; Go (operational
 // topology) is the subset whose links are currently up.
+//
+// The network also carries the stack's *topology change epoch*: a monotonic
+// counter bumped on every link state transition (links are wired into it by
+// add_link) and on node kill/revive (bumped by the Simulator). Measurement
+// code — most importantly the legitimacy monitor — uses the epoch to skip
+// re-deriving ground truth that cannot have changed.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -15,6 +22,11 @@ namespace ren::net {
 
 class Network {
  public:
+  Network() = default;
+  // Links hold a pointer to epoch_, so the network must stay put.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   struct Edge {
     NodeId neighbor = kNoNode;
     int link = -1;
@@ -54,9 +66,17 @@ class Network {
   /// True when the a-b link exists and is not permanently down (Gc).
   [[nodiscard]] bool link_connected(NodeId a, NodeId b) const;
 
+  /// Monotonic change counter over everything that defines the ground-truth
+  /// topology: link state transitions and node kill/revive events.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Record a topology-affecting change that links cannot observe themselves
+  /// (node kill/revive; called by the Simulator).
+  void bump_epoch() { ++epoch_; }
+
  private:
   std::vector<Link> links_;
   std::vector<std::vector<Edge>> adjacency_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace ren::net

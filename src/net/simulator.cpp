@@ -48,6 +48,7 @@ void Simulator::kill_node(NodeId id) {
   for (const Network::Edge& e : network_.adjacency(id)) {
     network_.link(e.link).set_state(LinkState::PermanentDown);
   }
+  network_.bump_epoch();  // the alive set is part of the topology epoch
   REN_LOG(Info, "t=%.3fs node %d fail-stopped", to_seconds(now()), id);
 }
 
@@ -56,6 +57,7 @@ void Simulator::revive_node(NodeId id) {
   if (n.alive()) return;
   n.revive();
   n.start();  // restart the timer chains under the new incarnation
+  network_.bump_epoch();
   REN_LOG(Info, "t=%.3fs node %d revived", to_seconds(now()), id);
 }
 

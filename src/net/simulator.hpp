@@ -66,6 +66,10 @@ class Simulator {
   bool step() { return events_.step(); }
   /// Run until simulated time `t` (events at exactly t are executed).
   void run_until(Time t);
+  /// Time of the next pending event, or kTimeNever when the queue is empty.
+  /// Note now() only advances by executing events, so a caller stepping in
+  /// fixed increments must consult this to skip quiet gaps.
+  [[nodiscard]] Time next_event_time() const { return events_.next_time(); }
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_.executed();
   }

@@ -80,6 +80,7 @@ class TrialExecutor {
         fault_rng_(mix64(seed ^ 0x5ce9a5ce9a5ce9aULL)) {
     auto cfg = profile_config(topology, controllers, seed, opt.paper_timers);
     cfg.with_hosts = s.needs_hosts();
+    cfg.monitor_paranoid = opt.paranoid_monitor;
     exp_ = std::make_unique<sim::Experiment>(std::move(cfg));
     cp_ = exp_->control_plane();
   }
@@ -158,10 +159,18 @@ class TrialExecutor {
     spec.host_b = b->id();
     spec.attach_b = b->attach();
     owner->register_data_flow(spec);
+    // Epoch-gated install wait: the data path can only appear after some
+    // rule table or link changed, so re-walk the rules only then.
     const Time deadline = exp_->sim().now() + sec(30);
-    while (exp_->sim().now() < deadline && exp_->current_data_path().empty()) {
-      exp_->sim().run_until(exp_->sim().now() +
-                            exp_->config().task_delay);
+    std::uint64_t walked_epoch = exp_->monitor().stack_epoch() - 1;
+    while (exp_->sim().now() < deadline) {
+      const std::uint64_t e = exp_->monitor().stack_epoch();
+      if (e != walked_epoch) {
+        walked_epoch = e;
+        if (!exp_->current_data_path().empty()) break;
+      }
+      if (exp_->sim().next_event_time() == kTimeNever) break;  // drained
+      exp_->sim().run_until(exp_->sim().now() + exp_->config().task_delay);
     }
     traffic_stats_ = std::make_unique<tcp::FlowStats>(exp_->sim().now());
     tcp::RenoConfig tcp_cfg;
@@ -225,6 +234,10 @@ TrialOutcome run_trial(const Scenario& s, const std::string& topology,
 
 CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
   for (const auto& t : s.topologies) (void)topo::by_name(t);  // validate early
+  if (opt.shard_count < 1 || opt.shard_index < 0 ||
+      opt.shard_index >= opt.shard_count) {
+    throw std::invalid_argument("run_campaign: shard must satisfy 0 <= k < n");
+  }
 
   struct GridPoint {
     std::size_t cell;
@@ -241,12 +254,22 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
     }
   }
 
+  // Shard k-of-n: this process runs grid indices ≡ k (mod n). Seeds depend
+  // only on grid coordinates, so shards are disjoint and their union is the
+  // whole campaign regardless of how it is split.
+  auto in_shard = [&](std::size_t i) {
+    return static_cast<int>(i % static_cast<std::size_t>(opt.shard_count)) ==
+           opt.shard_index;
+  };
+
   std::vector<TrialOutcome> outcomes(grid.size());
+  std::vector<char> executed(grid.size(), 0);
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= grid.size()) return;
+      if (!in_shard(i)) continue;
       const GridPoint& g = grid[i];
       try {
         outcomes[i] = run_trial(s, g.topology, g.controllers, g.trial, opt);
@@ -254,6 +277,7 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
         outcomes[i].ok = false;
         outcomes[i].error = e.what();
       }
+      executed[i] = 1;
     }
   };
   int threads = opt.threads > 0
@@ -277,6 +301,8 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
   result.profile = opt.paper_timers ? "paper" : "fast";
   result.trials_per_cell = s.trials;
   result.base_seed = s.base_seed;
+  result.shard_index = opt.shard_index;
+  result.shard_count = opt.shard_count;
 
   std::size_t at = 0;
   for (const auto& t : s.topologies) {
@@ -290,6 +316,7 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
       std::vector<Sample> cp_seconds;
       std::vector<int> cp_converged, cp_total;
       for (int r = 0; r < s.trials; ++r, ++at) {
+        if (executed[at] == 0) continue;  // another shard's trial
         const TrialOutcome& out = outcomes[at];
         if (!out.ok) {
           cr.errors.push_back("trial " + std::to_string(r) + ": " +
@@ -297,6 +324,7 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
           continue;
         }
         ++cr.trials;
+        if (opt.include_raw) cr.raw.emplace_back(r, out);
         messages.add(out.messages);
         commands.add(out.commands);
         violations.add(out.illegitimate_deletions);
@@ -342,6 +370,10 @@ Json CampaignResult::to_json() const {
   doc.set("profile", profile);
   doc.set("trials_per_cell", trials_per_cell);
   doc.set("seed", base_seed);
+  if (shard_count > 1) {
+    doc.set("shard_index", shard_index);
+    doc.set("shard_count", shard_count);
+  }
   Json cells_json{JsonArray{}};
   for (const CellResult& c : cells) {
     Json cj;
@@ -367,6 +399,28 @@ Json CampaignResult::to_json() const {
     cj.set("commands", summary_json(c.commands));
     cj.set("illegitimate_deletions", summary_json(c.illegitimate_deletions));
     if (c.has_traffic) cj.set("traffic_mbits", summary_json(c.traffic_mbits));
+    if (!c.raw.empty()) {
+      Json raws{JsonArray{}};
+      for (const auto& [trial, out] : c.raw) {
+        Json rj;
+        rj.set("trial", trial);
+        Json rcps{JsonArray{}};
+        for (const auto& rcp : out.checkpoints) {
+          Json j;
+          j.set("label", rcp.label);
+          j.set("converged", rcp.converged);
+          j.set("seconds", rcp.seconds);
+          rcps.push_back(std::move(j));
+        }
+        rj.set("checkpoints", std::move(rcps));
+        rj.set("messages", out.messages);
+        rj.set("commands", out.commands);
+        rj.set("illegitimate_deletions", out.illegitimate_deletions);
+        if (out.has_traffic) rj.set("traffic_mbits", out.traffic_mbits);
+        raws.push_back(std::move(rj));
+      }
+      cj.set("raw", std::move(raws));
+    }
     cells_json.push_back(std::move(cj));
   }
   doc.set("cells", std::move(cells_json));

@@ -29,6 +29,17 @@ struct RunnerOptions {
   /// only compresses simulated wall-clock. true: the paper's Section 6.3
   /// timers (500 ms / 100 ms), for figures meant to match the paper's axes.
   bool paper_timers = false;
+  /// Differential-test mode: every trial shadows the incremental legitimacy
+  /// verdict with a fresh full check and fails the trial on divergence.
+  bool paranoid_monitor = false;
+  /// Attach raw per-trial samples to each cell (and its JSON) instead of
+  /// only the percentile aggregates.
+  bool include_raw = false;
+  /// Shard k-of-n: run only grid points whose index ≡ shard_index (mod
+  /// shard_count). Trial seeds depend only on grid coordinates, so the
+  /// union of all n shard reports equals the unsharded campaign.
+  int shard_index = 0;  ///< 0-based, < shard_count
+  int shard_count = 1;
 };
 
 /// One executed trial (a single seeded run of the scenario timeline).
@@ -69,6 +80,9 @@ struct CellResult {
   PercentileSummary illegitimate_deletions;
   bool has_traffic = false;
   PercentileSummary traffic_mbits;
+  /// Raw per-trial samples, populated when RunnerOptions::include_raw:
+  /// (trial index, outcome) for every trial this process executed.
+  std::vector<std::pair<int, TrialOutcome>> raw;
 };
 
 struct CampaignResult {
@@ -77,6 +91,8 @@ struct CampaignResult {
   std::string profile;  ///< "fast" or "paper"
   int trials_per_cell = 0;
   std::uint64_t base_seed = 0;
+  int shard_index = 0;  ///< which shard this report covers (0-based)
+  int shard_count = 1;
   std::vector<CellResult> cells;
 
   [[nodiscard]] Json to_json() const;

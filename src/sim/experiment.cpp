@@ -114,6 +114,8 @@ void Experiment::build() {
   core::LegitimacyMonitor::Config m_cfg;
   m_cfg.kappa = config_.kappa;
   m_cfg.check_rule_walk = config_.check_rule_walk;
+  m_cfg.incremental = config_.monitor_incremental;
+  m_cfg.paranoid = config_.monitor_paranoid;
   monitor_ = std::make_unique<core::LegitimacyMonitor>(sim_, controllers_,
                                                        switches_, m_cfg);
 }
@@ -141,14 +143,45 @@ Experiment::ConvergenceResult Experiment::run_until_legitimate(Time limit) {
     cmd0.push_back(counters.ctrl_commands_sent[idx]);
   }
 
-  while (sim_.now() - t0 < limit) {
-    sim_.run_until(sim_.now() + config_.monitor_interval);
+  // Adaptive sampling: instead of blindly checking every monitor_interval,
+  // advance the simulation in fine steps and consult the monitor as soon as
+  // some layer's change epoch moved — convergence is timestamped at finer
+  // resolution and quiet stretches cost one cheap epoch read per step. The
+  // old fixed interval remains the ceiling between checks, so even a
+  // (hypothetical) untracked mutation is picked up at the seed's rate.
+  const Time fine_step =
+      std::max<Time>(Time{1}, config_.monitor_interval / 8);
+  const Time deadline = t0 + limit;
+  std::uint64_t checked_epoch = monitor_->stack_epoch() - 1;  // force check
+  while (sim_.now() < deadline) {
+    const Time ceiling = sim_.now() + config_.monitor_interval;
+    if (config_.adaptive_monitor) {
+      while (sim_.now() < ceiling &&
+             monitor_->stack_epoch() == checked_epoch) {
+        // now() only advances by executing events — aim each step at the
+        // next event when the fine window is quiet, else this loop spins.
+        const Time next = sim_.next_event_time();
+        if (next > deadline) break;  // nothing can happen before the deadline
+        if (next >= ceiling) {
+          sim_.run_until(next);  // quiet gap: jump to the next activity
+          break;
+        }
+        sim_.run_until(std::min(ceiling, std::max(next, sim_.now() + fine_step)));
+      }
+    } else {
+      sim_.run_until(ceiling);
+    }
     const auto status = monitor_->check();
+    checked_epoch = monitor_->stack_epoch();
     result.last_reason = status.reason;
     if (status.legitimate) {
       result.converged = true;
       break;
     }
+    // No event before the deadline means no epoch can move and the verdict
+    // cannot change (covers a fully drained queue, kTimeNever): stop now
+    // instead of spinning the wall clock on a frozen simulated clock.
+    if (sim_.next_event_time() > deadline) break;
   }
   result.seconds = to_seconds(sim_.now() - t0);
   for (std::size_t k = 0; k < controllers_.size(); ++k) {

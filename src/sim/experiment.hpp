@@ -41,7 +41,15 @@ struct ExperimentConfig {
   double link_duplicate = 0.0;
   double link_reorder = 0.0;
 
-  Time monitor_interval = msec(250);  ///< legitimacy sampling resolution
+  Time monitor_interval = msec(250);  ///< legitimacy sampling ceiling
+  /// Epoch-gated adaptive sampling: between checks the harness advances in
+  /// fine steps and consults the monitor as soon as some change epoch moved,
+  /// falling back to monitor_interval as the ceiling between checks.
+  bool adaptive_monitor = true;
+  bool monitor_incremental = true;    ///< epoch-gated incremental monitor
+  /// Differential-test mode: shadow every incremental verdict with a full
+  /// check and throw on divergence (slow; tests/CI only).
+  bool monitor_paranoid = false;
   std::size_t max_rules = 1u << 20;
   std::size_t max_replies = 0;        ///< 0 = auto: 2(N_C+N_S)+4
   std::size_t max_managers = 64;

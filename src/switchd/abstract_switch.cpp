@@ -163,7 +163,7 @@ void AbstractSwitch::handle_batch(NodeId from, const proto::CommandBatch& batch)
 void AbstractSwitch::add_manager(NodeId k) {
   auto it = managers_.find(k);
   if (it != managers_.end()) {
-    it->second = ++manager_touch_;
+    it->second = ++manager_touch_;  // LRU refresh only, set unchanged
     return;
   }
   if (managers_.size() >= config_.max_managers) {
@@ -176,9 +176,12 @@ void AbstractSwitch::add_manager(NodeId k) {
     ++manager_evictions_;
   }
   managers_[k] = ++manager_touch_;
+  ++manager_epoch_;
 }
 
-void AbstractSwitch::del_manager(NodeId k) { managers_.erase(k); }
+void AbstractSwitch::del_manager(NodeId k) {
+  if (managers_.erase(k) != 0) ++manager_epoch_;
+}
 
 std::vector<NodeId> AbstractSwitch::managers() const {
   std::vector<NodeId> out;
@@ -200,6 +203,7 @@ void AbstractSwitch::corrupt_state(Rng& rng, NodeId node_space) {
   detector_.corrupt(rng);
   endpoint_.corrupt(rng);
   if (rng.chance(0.5)) last_port_.clear();
+  ++manager_epoch_;  // corruption may have touched anything
 }
 
 }  // namespace ren::switchd

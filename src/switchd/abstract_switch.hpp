@@ -55,6 +55,15 @@ class AbstractSwitch : public net::Node {
   [[nodiscard]] std::uint64_t manager_evictions() const {
     return manager_evictions_;
   }
+  /// Bumps whenever the manager *set* changes (insertions, deletions,
+  /// evictions — LRU touch refreshes do not count).
+  [[nodiscard]] std::uint64_t manager_epoch() const { return manager_epoch_; }
+  /// Combined monitor-relevant change epoch of this switch: manager set +
+  /// rule-table content. Monotonic; unchanged implies the monitor's verdict
+  /// about this switch is unchanged (given an unchanged ground truth).
+  [[nodiscard]] std::uint64_t change_epoch() const {
+    return manager_epoch_ + rules_.epoch();
+  }
   /// The port the given peer was last heard on (kNoNode if never).
   [[nodiscard]] NodeId last_port_of(NodeId peer) const {
     auto it = last_port_.find(peer);
@@ -82,6 +91,7 @@ class AbstractSwitch : public net::Node {
   std::map<NodeId, std::uint64_t> managers_;  ///< manager -> LRU stamp
   std::uint64_t manager_touch_ = 0;
   std::uint64_t manager_evictions_ = 0;
+  std::uint64_t manager_epoch_ = 0;
   detect::ThetaDetector detector_;
   transport::Endpoint endpoint_;
   std::map<NodeId, NodeId> last_port_;  ///< peer -> most recent in-port

@@ -22,7 +22,7 @@ void RuleTable::new_round(NodeId cid, proto::Tag tag, int retention) {
   }
   e.touch = ++touch_counter_;
   trim_to_retention(e);
-  invalidate_cache();
+  note_mutation();
 }
 
 void RuleTable::update_rules(NodeId cid, proto::RuleListPtr rules,
@@ -57,17 +57,17 @@ void RuleTable::update_rules(NodeId cid, proto::RuleListPtr rules,
   e.touch = ++touch_counter_;
   trim_to_retention(e);
   enforce_capacity();
-  invalidate_cache();
+  note_mutation();
 }
 
 void RuleTable::del_all(NodeId cid) {
   owners_.erase(cid);
-  invalidate_cache();
+  note_mutation();
 }
 
 void RuleTable::clear() {
   owners_.clear();
-  invalidate_cache();
+  note_mutation();
 }
 
 void RuleTable::trim_to_retention(OwnerEntry& e) {
@@ -78,6 +78,39 @@ void RuleTable::trim_to_retention(OwnerEntry& e) {
     return std::find(e.recent_tags.begin(), e.recent_tags.end(), tl.tag) ==
            e.recent_tags.end();
   });
+}
+
+std::uint64_t RuleTable::content_signature() const {
+  // Owner ids, each owner's newest list and every retained list's identity —
+  // everything the legitimacy monitor can observe (owners(),
+  // newest_rules_of(), candidates()-driven walks). Lists are immutable, so
+  // pointer identity stands in for content. Tags are deliberately NOT
+  // hashed: steady-state round churn re-installs the same compiled list
+  // pointer under fresh tags, which must leave the signature unchanged.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [cid, e] : owners_) {
+    mix(static_cast<std::uint64_t>(cid) + 1);
+    const proto::RuleListPtr newest = newest_rules_of(cid);
+    mix(reinterpret_cast<std::uint64_t>(newest.get()));
+    mix(e.lists.size());
+    for (const auto& tl : e.lists) {
+      mix(reinterpret_cast<std::uint64_t>(tl.rules.get()));
+    }
+  }
+  return h;
+}
+
+void RuleTable::note_mutation() {
+  lookup_cache_.clear();
+  const std::uint64_t sig = content_signature();
+  if (sig != content_sig_) {
+    content_sig_ = sig;
+    ++epoch_;
+  }
 }
 
 void RuleTable::enforce_capacity() {
@@ -259,7 +292,7 @@ void RuleTable::corrupt(Rng& rng, NodeId node_space) {
     }
     ++it;
   }
-  invalidate_cache();
+  note_mutation();
 }
 
 }  // namespace ren::switchd

@@ -64,6 +64,13 @@ class RuleTable {
   [[nodiscard]] proto::RuleListPtr newest_rules_of(NodeId cid) const;
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
+  /// Monitor-relevant change epoch: bumps when the owner set or any owner's
+  /// newest installed list changes. Steady-state round churn (newRound +
+  /// updateRule re-installing the same immutable list under a fresh tag)
+  /// leaves it untouched — that is what lets the legitimacy monitor
+  /// short-circuit between faults.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   /// Ordered forwarding candidates for a packet header; cached until the
   /// next mutation. The returned reference is valid until then.
   [[nodiscard]] const std::vector<Candidate>& candidates(NodeId src, NodeId dst);
@@ -86,12 +93,18 @@ class RuleTable {
 
   void trim_to_retention(OwnerEntry& e);
   void enforce_capacity();
-  void invalidate_cache() { lookup_cache_.clear(); }
+  /// Drop the lookup cache and advance the epoch iff the monitor-observable
+  /// content (owner set, newest list per owner) actually changed. Called at
+  /// the end of every mutating entry point.
+  void note_mutation();
+  [[nodiscard]] std::uint64_t content_signature() const;
 
   Config config_;
   std::map<NodeId, OwnerEntry> owners_;
   std::uint64_t touch_counter_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t content_sig_ = 0;
   std::unordered_map<std::uint64_t, std::vector<Candidate>> lookup_cache_;
 };
 

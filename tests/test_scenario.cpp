@@ -2,6 +2,8 @@
 // bookkeeping, and the campaign runner's thread-count determinism contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <thread>
 
 #include "test_helpers.hpp"
@@ -237,6 +239,73 @@ TEST(CampaignRunner, RejectsUnknownTopology) {
   Scenario s = quick_scenario();
   s.topologies = {"Atlantis"};
   EXPECT_THROW(scenario::run_campaign(s, {}), std::invalid_argument);
+}
+
+TEST(CampaignRunner, RawExportCarriesPerTrialSamples) {
+  scenario::RunnerOptions opt;
+  opt.threads = 2;
+  opt.include_raw = true;
+  const auto result = scenario::run_campaign(quick_scenario(), opt);
+  for (const auto& cell : result.cells) {
+    ASSERT_EQ(cell.raw.size(), 4u) << cell.topology;
+    for (std::size_t r = 0; r < cell.raw.size(); ++r) {
+      EXPECT_EQ(cell.raw[r].first, static_cast<int>(r));  // grid order
+      EXPECT_EQ(cell.raw[r].second.checkpoints.size(), 2u);
+    }
+  }
+  // The JSON rendering includes the raw array (and stays parseable).
+  const auto doc = Json::parse(result.to_json().pretty());
+  const auto& cell0 = doc.find("cells")->as_array()[0];
+  ASSERT_NE(cell0.find("raw"), nullptr);
+  EXPECT_EQ(cell0.find("raw")->as_array().size(), 4u);
+}
+
+TEST(CampaignRunner, ShardsPartitionTheGridExactly) {
+  const Scenario s = quick_scenario();  // 2 topologies x 1 x 4 = 8 trials
+  scenario::RunnerOptions whole;
+  whole.threads = 2;
+  whole.include_raw = true;
+  const auto full = scenario::run_campaign(s, whole);
+
+  // Each trial's raw record must appear in exactly one of the 3 shards and
+  // match the unsharded run bit-for-bit (seeds depend only on the grid).
+  std::map<std::pair<std::string, int>, int> seen;
+  for (int k = 0; k < 3; ++k) {
+    scenario::RunnerOptions part = whole;
+    part.shard_index = k;
+    part.shard_count = 3;
+    const auto shard = scenario::run_campaign(s, part);
+    ASSERT_EQ(shard.cells.size(), full.cells.size());
+    for (std::size_t c = 0; c < shard.cells.size(); ++c) {
+      for (const auto& [trial, out] : shard.cells[c].raw) {
+        ++seen[{shard.cells[c].topology, trial}];
+        // Compare against the same trial in the unsharded run.
+        const auto& ref = full.cells[c].raw;
+        const auto it =
+            std::find_if(ref.begin(), ref.end(),
+                         [&](const auto& p) { return p.first == trial; });
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(out.checkpoints.size(), it->second.checkpoints.size());
+        for (std::size_t i = 0; i < out.checkpoints.size(); ++i) {
+          EXPECT_EQ(out.checkpoints[i].seconds,
+                    it->second.checkpoints[i].seconds);
+        }
+        EXPECT_EQ(out.messages, it->second.messages);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);  // every (topology, trial) exactly once
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1) << key.first << "/" << key.second;
+  }
+}
+
+TEST(CampaignRunner, RejectsBadShard) {
+  scenario::RunnerOptions opt;
+  opt.shard_index = 2;
+  opt.shard_count = 2;
+  EXPECT_THROW(scenario::run_campaign(quick_scenario(), opt),
+               std::invalid_argument);
 }
 
 }  // namespace

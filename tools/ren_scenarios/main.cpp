@@ -39,6 +39,12 @@ void usage(std::FILE* to) {
                "  --trials N             seeded repetitions per grid cell\n"
                "  --seed S               campaign base seed\n"
                "  --threads N            worker threads (default: all cores)\n"
+               "  --shard K/N            run shard K of N (K = 1..N); the union\n"
+               "                         of all N shard reports is the full\n"
+               "                         campaign (seeds depend only on the grid)\n"
+               "  --raw                  include raw per-trial samples in the report\n"
+               "  --paranoid             differential-check the incremental\n"
+               "                         legitimacy monitor every sample (slow)\n"
                "  --paper-timers         paper Section 6.3 timers instead of fast\n"
                "  --out FILE             write the JSON report here (default stdout)\n"
                "  --verbose              enable Info-level simulation logging\n");
@@ -73,8 +79,10 @@ int main(int argc, char** argv) {
   std::string scenario_name, spec_path, out_path;
   std::string topologies_csv, controllers_csv;
   int trials = 0, threads = 0;
+  int shard_index = 0, shard_count = 1;
   std::uint64_t seed = 0;
   bool have_seed = false, paper_timers = false, print_spec = false;
+  bool include_raw = false, paranoid = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +119,30 @@ int main(int argc, char** argv) {
       have_seed = true;
     } else if (arg == "--threads") {
       threads = std::stoi(value());
+    } else if (arg == "--shard") {
+      const std::string v = value();
+      const auto slash = v.find('/');
+      std::size_t used_k = 0, used_n = 0;
+      try {
+        if (slash == std::string::npos) throw std::invalid_argument(v);
+        shard_index = std::stoi(v.substr(0, slash), &used_k) - 1;  // 1-based
+        shard_count = std::stoi(v.substr(slash + 1), &used_n);
+        if (used_k != slash || used_n != v.size() - slash - 1)
+          throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "--shard expects K/N (e.g. 2/4), got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+        std::fprintf(stderr, "--shard K/N requires 1 <= K <= N, got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+    } else if (arg == "--raw") {
+      include_raw = true;
+    } else if (arg == "--paranoid") {
+      paranoid = true;
     } else if (arg == "--paper-timers") {
       paper_timers = true;
     } else if (arg == "--out") {
@@ -151,6 +183,10 @@ int main(int argc, char** argv) {
     scenario::RunnerOptions opt;
     opt.threads = threads;
     opt.paper_timers = paper_timers;
+    opt.shard_index = shard_index;
+    opt.shard_count = shard_count;
+    opt.include_raw = include_raw;
+    opt.paranoid_monitor = paranoid;
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = scenario::run_campaign(s, opt);
     const auto elapsed =
@@ -166,18 +202,21 @@ int main(int argc, char** argv) {
       out << report;
       std::fprintf(stderr, "wrote %s\n", out_path.c_str());
     }
-    const std::size_t total_trials =
-        s.topologies.size() * s.controllers.size() *
-        static_cast<std::size_t>(s.trials);
+    std::size_t ran_trials = 0;
     std::size_t failed = 0;
     for (const auto& cell : result.cells) {
+      ran_trials += static_cast<std::size_t>(cell.trials);
       for (const auto& e : cell.errors) {
         std::fprintf(stderr, "warning: %s/%d %s\n", cell.topology.c_str(),
                      cell.controllers, e.c_str());
         ++failed;
       }
     }
-    std::fprintf(stderr, "%zu trials in %.1fs wall%s\n", total_trials, elapsed,
+    ran_trials += failed;  // errored trials were still executed
+    if (shard_count > 1) {
+      std::fprintf(stderr, "shard %d/%d: ", shard_index + 1, shard_count);
+    }
+    std::fprintf(stderr, "%zu trials in %.1fs wall%s\n", ran_trials, elapsed,
                  failed > 0 ? " (some failed, see warnings)" : "");
     return failed == 0 ? 0 : 1;
   } catch (const std::exception& e) {
