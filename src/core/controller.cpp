@@ -30,7 +30,10 @@ Controller::Controller(NodeId id, Config config)
                 ++sim_->counters().ctrl_messages_sent[static_cast<std::size_t>(
                     this->id())];
               }}),
-      compiler_(flows::RuleCompiler::Config{config.kappa}) {
+      compiler_(flows::RuleCompiler::Config{config.kappa}),
+      views_(id) {
+  views_.set_enabled(config_.cache_views);
+  views_.set_paranoid(config_.paranoid_views);
   curr_tag_ = tags_.next();
   prev_tag_ = proto::kNullTag;
 }
@@ -56,15 +59,192 @@ void Controller::detect_tick() {
   sim_->schedule_for(id(), config_.detect_interval, [this] { detect_tick(); });
 }
 
-// --- View construction -----------------------------------------------------
+// --- View maintenance -------------------------------------------------------
+//
+// The res/fusion views are materialized by the ViewCache at most once per
+// (replyDB revision, tags, liveness epoch) state; every consumer below calls
+// refresh_views() first and reads the shared cached instances.
 
-Controller::ResView Controller::build_res(proto::Tag tag) const {
-  ResView res;
-  // The synthetic self record <i, Nc(i), {}, {}> (Algorithm 2, line 3).
-  res.view.add_node(id());
-  res.transit[id()] = false;
-  for (NodeId n : detector_.live()) res.view.add_edge(id(), n);
-  for (const auto& [rid, m] : db_.entries()) {
+void Controller::refresh_views() {
+  views_.refresh(db_, curr_tag_, prev_tag_, detector_);
+}
+
+void Controller::prune_reply_db() {
+  // Line 8: drop replies that are unreachable in their tag's view (O(1)
+  // membership against the precomputed reachability) or carry a stale tag.
+  const ResView& res_curr = views_.res_curr();
+  const ResView& res_prev = views_.res_prev();
+  db_.erase_if([&](const proto::QueryReply& m) {
+    if (m.id == id()) return true;  // self is synthesized, never stored
+    if (m.tag_for_querier == curr_tag_) return !res_curr.reachable(m.id);
+    if (m.tag_for_querier == prev_tag_) return !res_prev.reachable(m.id);
+    return true;  // stale tag
+  });
+}
+
+bool Controller::round_complete() const {
+  // Line 10: every node reachable in G(res(currTag)) has replied with
+  // currTag (the self record stands in for p_i's own reply).
+  const ResView& res = views_.res_curr();
+  for (NodeId n : res.reach) {
+    if (n == id()) continue;
+    if (res.reply_ids.count(n) == 0) return false;
+  }
+  return true;
+}
+
+// --- The do-forever body -----------------------------------------------------
+
+void Controller::run_iteration() {
+  if (!config_.cache_views) {
+    run_iteration_legacy();
+    return;
+  }
+  ++stats_.iterations;
+  ++sim_->counters().iterations[static_cast<std::size_t>(id())];
+
+  refresh_views();
+  prune_reply_db();  // line 8 (may bump the replyDB revision)
+
+  bool new_round = false;  // lines 9-12
+  refresh_views();         // no-op unless pruning erased something
+  if (round_complete()) {
+    new_round = true;
+    ++stats_.rounds_started;
+    prev_tag_ = curr_tag_;
+    curr_tag_ = tags_.next();
+    db_.erase_if([this](const proto::QueryReply& m) {
+      return m.tag_for_querier == curr_tag_;
+    });
+    refresh_views();  // clean flips rotate slots instead of rebuilding
+  }
+
+  // Line 13: reference tag selection.
+  const ResView& res_prev = views_.res_prev();
+  const ResView& fusion = views_.fusion();
+  const bool topo_stable =
+      views_.fusion_aliases_prev() || fusion.view == res_prev.view;
+  const ResView& refer = topo_stable ? res_prev : views_.res_curr();
+  if (!(fusion_view_ == fusion.view)) {
+    fusion_view_ = fusion.view;
+    ++change_epoch_;
+  }
+
+  // myRules() for the reference view; also drives the controller's own
+  // first-hop routing.
+  const flows::CompiledFlowsPtr prior_flows = current_flows_;
+  current_flows_ = compiler_.compile_cached(refer.view, id(), refer.transit);
+  if (current_flows_ != prior_flows) ++change_epoch_;
+  rebuild_merged_rules(refer.view, refer.transit);
+
+  // Line 19's recipients: every node reachable in G(fusion), sorted. The
+  // peer list and the per-peer command vectors are allocation-light: flat
+  // vectors reused across ticks instead of a std::set plus a
+  // std::map<NodeId, std::vector<Command>> rebuilt every iteration.
+  peers_scratch_.clear();
+  for (NodeId n : fusion.reach) {
+    if (n != id()) peers_scratch_.push_back(n);
+  }
+  std::sort(peers_scratch_.begin(), peers_scratch_.end());
+  if (cmd_scratch_.size() < peers_scratch_.size()) {
+    cmd_scratch_.resize(peers_scratch_.size());
+  }
+  for (auto& c : cmd_scratch_) c.clear();
+  auto peer_slot = [&](NodeId j) -> std::vector<proto::Command>* {
+    const auto it =
+        std::lower_bound(peers_scratch_.begin(), peers_scratch_.end(), j);
+    if (it == peers_scratch_.end() || *it != j) return nullptr;
+    return &cmd_scratch_[static_cast<std::size_t>(it - peers_scratch_.begin())];
+  };
+
+  // Lines 14-18: per-switch command preparation. A replied switch that is
+  // not fusion-reachable this tick still runs the preparation (deletion
+  // accounting is observable) into a spill slot whose batch is never sent —
+  // matching the seed, which built and then dropped such batches.
+  for (NodeId j : refer.reply_ids) {
+    const proto::QueryReply* m = db_.find(j);
+    if (m == nullptr || m->from_controller) continue;
+    std::vector<proto::Command>* out = peer_slot(j);
+    if (out == nullptr) {
+      cmd_spill_.clear();
+      out = &cmd_spill_;
+    }
+    prepare_switch_commands(
+        *m, new_round, [&](NodeId k) { return res_prev.reachable(k); }, *out);
+  }
+
+  // Modify-by-neighbor (Section 2.1.1): a discovered switch that has not
+  // replied yet — or whose stale rules blackhole its replies — still gets
+  // a manager entry and a flow back to this controller, installed through
+  // its neighbors. Without this, a switch whose pre-change reverse rules
+  // point into a failed region could never report in. Controllers ignore
+  // these commands, so optimistically treating unknown nodes as switches
+  // is safe.
+  for (std::size_t i = 0; i < peers_scratch_.size(); ++i) {
+    const NodeId peer = peers_scratch_[i];
+    auto& c = cmd_scratch_[i];
+    if (!c.empty()) continue;
+    auto t = fusion.transit.find(peer);
+    if (t != fusion.transit.end() && !t->second) continue;  // controller
+    c.push_back(proto::AddMngrCmd{id()});
+    c.push_back(proto::UpdateRuleCmd{rules_for_switch(peer), curr_tag_});
+  }
+  // Line 19: aggregated batch + query to every reachable node.
+  for (std::size_t i = 0; i < peers_scratch_.size(); ++i) {
+    const NodeId peer = peers_scratch_[i];
+    proto::CommandBatch batch;
+    batch.from = id();
+    batch.commands.reserve(cmd_scratch_[i].size() + 2);
+    batch.commands.push_back(
+        proto::NewRoundCmd{curr_tag_, config_.rule_retention});
+    for (auto& c : cmd_scratch_[i]) batch.commands.push_back(std::move(c));
+    batch.commands.push_back(proto::QueryCmd{curr_tag_});
+    sim_->counters().ctrl_commands_sent[static_cast<std::size_t>(id())] +=
+        batch.commands.size();
+    endpoint_.submit(peer, proto::Message{std::move(batch)});
+  }
+  // Keep transport state bounded: sessions only for current peers and
+  // physically attached neighbors.
+  std::set<NodeId> keep(peers_scratch_.begin(), peers_scratch_.end());
+  for (const auto& e : sim_->network().adjacency(id())) keep.insert(e.neighbor);
+  endpoint_.retain_only(keep);
+}
+
+void Controller::iterate() {
+  if (!frozen_) {
+    if (iteration_probe_) iteration_probe_(true);
+    run_iteration();
+    if (iteration_probe_) iteration_probe_(false);
+  }
+  endpoint_.tick();  // retransmit unacknowledged frames
+  sim_->schedule_for(id(), config_.task_delay, [this] { iterate(); });
+}
+
+// --- The pre-cache baseline ---------------------------------------------------
+//
+// The seed's do-forever body, preserved as Config::cache_views = false: the
+// res/fusion views are rebuilt from the replyDB at every consumer (twice in
+// the prune, once for round completion, three times for reference
+// selection), reachability is a std::set-seeded BFS per use with linear
+// membership scans, and the command fan-out rebuilds a std::set peer list
+// plus a std::map of command vectors each tick. bench_controller_hotpath
+// measures the cached pipeline against exactly this.
+
+namespace {
+
+struct LegacyRes {
+  flows::TopoView view;
+  std::map<NodeId, bool> transit;
+  std::set<NodeId> reply_ids;
+};
+
+LegacyRes legacy_build_res(NodeId self, const ReplyDb& db, proto::Tag tag,
+                           const detect::ThetaDetector& detector) {
+  LegacyRes res;
+  res.view.add_node(self);
+  res.transit[self] = false;
+  for (NodeId n : detector.live()) res.view.add_edge(self, n);
+  for (const auto& [rid, m] : db.entries()) {
     if (!(m.tag_for_querier == tag)) continue;
     res.view.add_node(m.id);
     for (NodeId n : m.nc) res.view.add_edge(m.id, n);
@@ -74,19 +254,20 @@ Controller::ResView Controller::build_res(proto::Tag tag) const {
   return res;
 }
 
-Controller::ResView Controller::build_fusion() const {
-  ResView res;
-  res.view.add_node(id());
-  res.transit[id()] = false;
-  for (NodeId n : detector_.live()) res.view.add_edge(id(), n);
-  // res(currTag), then res(prevTag) entries not shadowed by a curr reply.
-  for (const auto& [rid, m] : db_.entries()) {
-    const bool is_curr = m.tag_for_querier == curr_tag_;
-    const bool is_prev = m.tag_for_querier == prev_tag_;
+LegacyRes legacy_build_fusion(NodeId self, const ReplyDb& db, proto::Tag curr,
+                              proto::Tag prev,
+                              const detect::ThetaDetector& detector) {
+  LegacyRes res;
+  res.view.add_node(self);
+  res.transit[self] = false;
+  for (NodeId n : detector.live()) res.view.add_edge(self, n);
+  for (const auto& [rid, m] : db.entries()) {
+    const bool is_curr = m.tag_for_querier == curr;
+    const bool is_prev = m.tag_for_querier == prev;
     if (!is_curr && !is_prev) continue;
     if (is_prev && !is_curr) {
-      const proto::QueryReply* other = db_.find(m.id);
-      if (other != nullptr && other->tag_for_querier == curr_tag_) continue;
+      const proto::QueryReply* other = db.find(m.id);
+      if (other != nullptr && other->tag_for_querier == curr) continue;
     }
     res.view.add_node(m.id);
     for (NodeId n : m.nc) res.view.add_edge(m.id, n);
@@ -96,44 +277,40 @@ Controller::ResView Controller::build_fusion() const {
   return res;
 }
 
-void Controller::prune_reply_db() {
-  const ResView res_curr = build_res(curr_tag_);
-  const ResView res_prev = build_res(prev_tag_);
-  const auto curr_reach = res_curr.view.reachable_set(id());
-  const auto prev_reach = res_prev.view.reachable_set(id());
-  auto in = [](const std::vector<NodeId>& v, NodeId x) {
-    return std::find(v.begin(), v.end(), x) != v.end();
-  };
-  db_.erase_if([&](const proto::QueryReply& m) {
-    if (m.id == id()) return true;  // self is synthesized, never stored
-    if (m.tag_for_querier == curr_tag_) return !in(curr_reach, m.id);
-    if (m.tag_for_querier == prev_tag_) return !in(prev_reach, m.id);
-    return true;  // stale tag
-  });
-}
+}  // namespace
 
-bool Controller::round_complete() const {
-  // Line 10: every node reachable in G(res(currTag)) has replied with
-  // currTag (the self record stands in for p_i's own reply).
-  const ResView res = build_res(curr_tag_);
-  for (NodeId n : res.view.reachable_set(id())) {
-    if (n == id()) continue;
-    if (res.reply_ids.count(n) == 0) return false;
+void Controller::run_iteration_legacy() {
+  ++stats_.iterations;
+  ++sim_->counters().iterations[static_cast<std::size_t>(id())];
+
+  {  // line 8: prune with full reachable sets and linear membership scans
+    const LegacyRes res_curr = legacy_build_res(id(), db_, curr_tag_, detector_);
+    const LegacyRes res_prev = legacy_build_res(id(), db_, prev_tag_, detector_);
+    const auto curr_reach = res_curr.view.reachable_set(id());
+    const auto prev_reach = res_prev.view.reachable_set(id());
+    auto in = [](const std::vector<NodeId>& v, NodeId x) {
+      return std::find(v.begin(), v.end(), x) != v.end();
+    };
+    db_.erase_if([&](const proto::QueryReply& m) {
+      if (m.id == id()) return true;
+      if (m.tag_for_querier == curr_tag_) return !in(curr_reach, m.id);
+      if (m.tag_for_querier == prev_tag_) return !in(prev_reach, m.id);
+      return true;
+    });
   }
-  return true;
-}
 
-// --- The do-forever body -----------------------------------------------------
-
-void Controller::iterate() {
-  if (!frozen_) {
-    ++stats_.iterations;
-    ++sim_->counters().iterations[static_cast<std::size_t>(id())];
-
-    prune_reply_db();  // line 8
-
-    bool new_round = false;  // lines 9-12
-    if (round_complete()) {
+  bool new_round = false;  // lines 9-12
+  {
+    const LegacyRes res = legacy_build_res(id(), db_, curr_tag_, detector_);
+    bool complete = true;
+    for (NodeId n : res.view.reachable_set(id())) {
+      if (n == id()) continue;
+      if (res.reply_ids.count(n) == 0) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
       new_round = true;
       ++stats_.rounds_started;
       prev_tag_ = curr_tag_;
@@ -142,80 +319,70 @@ void Controller::iterate() {
         return m.tag_for_querier == curr_tag_;
       });
     }
-
-    // Line 13: reference tag selection.
-    ResView res_prev = build_res(prev_tag_);
-    ResView res_curr = build_res(curr_tag_);
-    ResView fusion = build_fusion();
-    const bool topo_stable = fusion.view == res_prev.view;
-    const ResView& refer = topo_stable ? res_prev : res_curr;
-    if (!(fusion_view_ == fusion.view)) {
-      fusion_view_ = fusion.view;
-      ++change_epoch_;
-    }
-
-    // myRules() for the reference view; also drives the controller's own
-    // first-hop routing.
-    const flows::CompiledFlowsPtr prior_flows = current_flows_;
-    current_flows_ = compiler_.compile_cached(refer.view, id(), refer.transit);
-    if (current_flows_ != prior_flows) ++change_epoch_;
-    rebuild_merged_rules(refer);
-
-    // Lines 14-18: per-switch command preparation.
-    std::map<NodeId, std::vector<proto::Command>> cmds;
-    for (NodeId j : refer.reply_ids) {
-      const proto::QueryReply* m = db_.find(j);
-      if (m == nullptr || m->from_controller) continue;
-      prepare_switch_commands(*m, new_round, res_prev, cmds[j]);
-    }
-
-    // Line 19: aggregated batch + query to every reachable node.
-    std::set<NodeId> peers;
-    for (NodeId n : fusion.view.reachable_set(id())) {
-      if (n != id()) peers.insert(n);
-    }
-
-    // Modify-by-neighbor (Section 2.1.1): a discovered switch that has not
-    // replied yet — or whose stale rules blackhole its replies — still gets
-    // a manager entry and a flow back to this controller, installed through
-    // its neighbors. Without this, a switch whose pre-change reverse rules
-    // point into a failed region could never report in. Controllers ignore
-    // these commands, so optimistically treating unknown nodes as switches
-    // is safe.
-    for (NodeId peer : peers) {
-      if (cmds.count(peer) != 0) continue;
-      auto t = fusion.transit.find(peer);
-      if (t != fusion.transit.end() && !t->second) continue;  // controller
-      auto& c = cmds[peer];
-      c.push_back(proto::AddMngrCmd{id()});
-      c.push_back(proto::UpdateRuleCmd{rules_for_switch(peer), curr_tag_});
-    }
-    for (NodeId peer : peers) {
-      proto::CommandBatch batch;
-      batch.from = id();
-      batch.commands.push_back(
-          proto::NewRoundCmd{curr_tag_, config_.rule_retention});
-      if (auto it = cmds.find(peer); it != cmds.end()) {
-        for (auto& c : it->second) batch.commands.push_back(std::move(c));
-      }
-      batch.commands.push_back(proto::QueryCmd{curr_tag_});
-      sim_->counters().ctrl_commands_sent[static_cast<std::size_t>(id())] +=
-          batch.commands.size();
-      endpoint_.submit(peer, proto::Message{std::move(batch)});
-    }
-    // Keep transport state bounded: sessions only for current peers and
-    // physically attached neighbors.
-    std::set<NodeId> keep = peers;
-    for (const auto& e : sim_->network().adjacency(id())) keep.insert(e.neighbor);
-    endpoint_.retain_only(keep);
   }
-  endpoint_.tick();  // retransmit unacknowledged frames
-  sim_->schedule_for(id(), config_.task_delay, [this] { iterate(); });
+
+  // Line 13: reference tag selection.
+  LegacyRes res_prev = legacy_build_res(id(), db_, prev_tag_, detector_);
+  LegacyRes res_curr = legacy_build_res(id(), db_, curr_tag_, detector_);
+  LegacyRes fusion =
+      legacy_build_fusion(id(), db_, curr_tag_, prev_tag_, detector_);
+  const bool topo_stable = fusion.view == res_prev.view;
+  const LegacyRes& refer = topo_stable ? res_prev : res_curr;
+  if (!(fusion_view_ == fusion.view)) {
+    fusion_view_ = fusion.view;
+    ++change_epoch_;
+  }
+
+  const flows::CompiledFlowsPtr prior_flows = current_flows_;
+  current_flows_ = compiler_.compile_cached(refer.view, id(), refer.transit);
+  if (current_flows_ != prior_flows) ++change_epoch_;
+  rebuild_merged_rules(refer.view, refer.transit);
+
+  // Lines 14-18: per-switch command preparation (BFS per reachability ask).
+  std::map<NodeId, std::vector<proto::Command>> cmds;
+  for (NodeId j : refer.reply_ids) {
+    const proto::QueryReply* m = db_.find(j);
+    if (m == nullptr || m->from_controller) continue;
+    prepare_switch_commands(
+        *m, new_round,
+        [&](NodeId k) { return res_prev.view.reachable(id(), k); }, cmds[j]);
+  }
+
+  // Line 19: aggregated batch + query to every reachable node.
+  std::set<NodeId> peers;
+  for (NodeId n : fusion.view.reachable_set(id())) {
+    if (n != id()) peers.insert(n);
+  }
+  for (NodeId peer : peers) {
+    if (cmds.count(peer) != 0) continue;
+    auto t = fusion.transit.find(peer);
+    if (t != fusion.transit.end() && !t->second) continue;  // controller
+    auto& c = cmds[peer];
+    c.push_back(proto::AddMngrCmd{id()});
+    c.push_back(proto::UpdateRuleCmd{rules_for_switch(peer), curr_tag_});
+  }
+  for (NodeId peer : peers) {
+    proto::CommandBatch batch;
+    batch.from = id();
+    batch.commands.push_back(
+        proto::NewRoundCmd{curr_tag_, config_.rule_retention});
+    if (auto it = cmds.find(peer); it != cmds.end()) {
+      for (auto& c : it->second) batch.commands.push_back(std::move(c));
+    }
+    batch.commands.push_back(proto::QueryCmd{curr_tag_});
+    sim_->counters().ctrl_commands_sent[static_cast<std::size_t>(id())] +=
+        batch.commands.size();
+    endpoint_.submit(peer, proto::Message{std::move(batch)});
+  }
+  std::set<NodeId> keep = peers;
+  for (const auto& e : sim_->network().adjacency(id())) keep.insert(e.neighbor);
+  endpoint_.retain_only(keep);
 }
 
+template <typename ReachFn>
 void Controller::prepare_switch_commands(const proto::QueryReply& m,
                                          bool new_round,
-                                         const ResView& res_prev,
+                                         ReachFn&& prev_reachable,
                                          std::vector<proto::Command>& out) {
   // Owners that have rules (the per-controller meta rule counts, as in the
   // paper where it is installed by 'newRound' before any update).
@@ -227,7 +394,7 @@ void Controller::prepare_switch_commands(const proto::QueryReply& m,
   std::set<NodeId> M;
   for (NodeId k : managers) {
     if (owners.count(k) == 0) continue;
-    if (new_round && !res_prev.view.reachable(id(), k)) continue;
+    if (new_round && !prev_reachable(k)) continue;
     M.insert(k);
   }
   M.insert(id());
@@ -254,7 +421,7 @@ void Controller::prepare_switch_commands(const proto::QueryReply& m,
               "newround=%d reach=%d)",
               to_seconds(sim_->now()), id(), k, m.id, (int)managers.count(k),
               (int)owners.count(k), (int)new_round,
-              (int)res_prev.view.reachable(id(), k));
+              (int)prev_reachable(k));
       out.push_back(proto::DelMngrCmd{k});
       out.push_back(proto::DelAllRulesCmd{k});
       note_deletion(k);
@@ -273,7 +440,9 @@ void Controller::note_deletion(NodeId victim) {
   }
 }
 
-void Controller::rebuild_merged_rules(const ResView& refer) {
+void Controller::rebuild_merged_rules(
+    const flows::TopoView& refer_view,
+    const std::map<NodeId, bool>& refer_transit) {
   if (current_flows_ == nullptr) return;
   const std::uint64_t fp = current_flows_->view_fingerprint;
   if (merged_fingerprint_ == fp && merged_revision_ == data_flow_revision_)
@@ -292,8 +461,8 @@ void Controller::rebuild_merged_rules(const ResView& refer) {
   }
   for (const auto& spec : data_flows_) {
     flows::DataFlow df = compiler_.compile_data_flow(
-        refer.view, id(), spec.host_a, spec.attach_a, spec.host_b,
-        spec.attach_b, refer.transit);
+        refer_view, id(), spec.host_a, spec.attach_a, spec.host_b,
+        spec.attach_b, refer_transit);
     for (const auto& [sid, list] : df.per_switch) {
       auto& dst = merged[sid];
       dst.insert(dst.end(), list->begin(), list->end());
@@ -425,7 +594,8 @@ void Controller::corrupt_state(Rng& rng, NodeId node_space) {
   if (rng.chance(0.5)) last_port_.clear();
   merged_fingerprint_ = 0;
   merged_revision_ = ~0ULL;
-  ++change_epoch_;  // corruption may have touched anything
+  views_.invalidate();  // direct tampering bypasses the revision/epoch keys
+  ++change_epoch_;      // corruption may have touched anything
 }
 
 }  // namespace ren::core

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/reply_db.hpp"
+#include "core/view_cache.hpp"
 #include "detect/theta_detector.hpp"
 #include "flows/graph.hpp"
 #include "flows/my_rules.hpp"
@@ -54,6 +55,12 @@ class Controller : public net::Node {
     std::size_t max_replies = 1024;  ///< >= 2(N_C+N_S) per the paper
     bool memory_adaptive = true;     ///< false = Section 8.1 variant
     int rule_retention = 2;          ///< 3 = Section 6.2 variant
+    /// One cached view construction per tick (false = rebuild the res/fusion
+    /// views at every consumer, the pre-cache behavior; bench baseline).
+    bool cache_views = true;
+    /// Differential-test mode: shadow every cached view with a from-scratch
+    /// build and throw std::logic_error on divergence (slow; tests/CI only).
+    bool paranoid_views = false;
   };
 
   Controller(NodeId id, Config config);
@@ -97,6 +104,20 @@ class Controller : public net::Node {
     return detector_;
   }
   [[nodiscard]] const transport::Endpoint& endpoint() const { return endpoint_; }
+  /// The per-tick view cache (hit/miss/rotation counters for tests/benches).
+  [[nodiscard]] const ViewCache& view_cache() const { return views_; }
+
+  /// One do-forever body (Algorithm 2, lines 8-19) without the timer
+  /// rescheduling or the frozen gate (tests).
+  void run_iteration();
+
+  /// Bench hook: called with `true` right before and `false` right after
+  /// every *scheduled* do-forever body. Lets bench_controller_hotpath time
+  /// the real in-situ iterations instead of injecting extra ones (an extra
+  /// body advances round tags and would perturb the protocol under test).
+  void set_iteration_probe(std::function<void(bool begin)> probe) {
+    iteration_probe_ = std::move(probe);
+  }
 
   /// Monitor-relevant change epoch: bumps when the fused view, the compiled
   /// flows, the merged rules or the registered data flows change. Steady
@@ -119,28 +140,29 @@ class Controller : public net::Node {
   void corrupt_state(Rng& rng, NodeId node_space);
 
  private:
-  /// A topology view materialized from replyDB entries with one tag.
-  struct ResView {
-    flows::TopoView view;
-    std::map<NodeId, bool> transit;  ///< id -> is-switch (may relay)
-    std::set<NodeId> reply_ids;      ///< ids that actually replied
-  };
-
-  void iterate();  // the do-forever body
+  void iterate();  // run_iteration() + endpoint tick + reschedule
   void detect_tick();
+  /// The seed's do-forever body, preserved verbatim as the measured
+  /// pre-cache baseline (Config::cache_views = false): every view rebuilt
+  /// at every consumer, std::set-seeded BFS, linear membership scans.
+  void run_iteration_legacy();
 
-  [[nodiscard]] ResView build_res(proto::Tag tag) const;
-  [[nodiscard]] ResView build_fusion() const;
+  /// Synchronize the view cache with the current (replyDB, tags, detector).
+  void refresh_views();
   void prune_reply_db();
   [[nodiscard]] bool round_complete() const;
 
   /// Commands for switch `j` given its reply in the reference view
-  /// (lines 14-18). Appends into `out`.
+  /// (lines 14-18). Appends into `out`. `prev_reachable(k)` answers
+  /// reachability of k from this controller in G(res(prevTag)) — O(1)
+  /// against the cached view, a per-call BFS on the legacy baseline path.
+  template <typename ReachFn>
   void prepare_switch_commands(const proto::QueryReply& m, bool new_round,
-                               const ResView& res_prev,
+                               ReachFn&& prev_reachable,
                                std::vector<proto::Command>& out);
   [[nodiscard]] proto::RuleListPtr rules_for_switch(NodeId j);
-  void rebuild_merged_rules(const ResView& refer);
+  void rebuild_merged_rules(const flows::TopoView& refer_view,
+                            const std::map<NodeId, bool>& refer_transit);
   void note_deletion(NodeId victim);
 
   void on_reply(proto::QueryReply reply);
@@ -155,6 +177,14 @@ class Controller : public net::Node {
   detect::ThetaDetector detector_;
   transport::Endpoint endpoint_;
   flows::RuleCompiler compiler_;
+  ViewCache views_;
+
+  // Reusable command fan-out scratch (line 19): the sorted peer list and one
+  // command vector per peer, plus a spill slot for replied switches that are
+  // not fusion-reachable this tick. Cleared, never shrunk, between ticks.
+  std::vector<NodeId> peers_scratch_;
+  std::vector<std::vector<proto::Command>> cmd_scratch_;
+  std::vector<proto::Command> cmd_spill_;
 
   flows::CompiledFlowsPtr current_flows_;    ///< last compiled control flows
   flows::TopoView fusion_view_;              ///< cached G(fusion)
@@ -171,6 +201,7 @@ class Controller : public net::Node {
   std::uint64_t change_epoch_ = 0;
   ControllerStats stats_;
   std::function<bool(NodeId)> liveness_oracle_;
+  std::function<void(bool)> iteration_probe_;
 };
 
 }  // namespace ren::core

@@ -7,6 +7,10 @@ bool ReplyDb::make_room(NodeId id) {
   if (projected <= config_.max_replies) return false;
   if (config_.reset_on_overflow) {
     // C-reset: keep nothing (the self record is synthesized by the caller).
+    if (!entries_.empty()) {
+      ++revision_;
+      ++view_shape_revision_;
+    }
     entries_.clear();
     insert_order_.clear();
     ++c_resets_;
@@ -20,13 +24,30 @@ bool ReplyDb::make_room(NodeId id) {
     }
     entries_.erase(victim->first);
     insert_order_.erase(victim);
+    ++revision_;
+    ++view_shape_revision_;
   }
   return false;
 }
 
 void ReplyDb::store(proto::QueryReply reply) {
   const NodeId id = reply.id;
-  entries_[id] = std::move(reply);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++revision_;
+    ++view_shape_revision_;
+    entries_.emplace(id, std::move(reply));
+  } else if (!(it->second == reply)) {
+    // Only (id, nc, from_controller) shape a topology view; a replace that
+    // merely rolls the round tag / manager list / rule summaries forward
+    // (every steady-state re-reply) keeps the shape revision still.
+    if (it->second.nc != reply.nc ||
+        it->second.from_controller != reply.from_controller) {
+      ++view_shape_revision_;
+    }
+    ++revision_;
+    it->second = std::move(reply);
+  }
   insert_order_[id] = ++insert_counter_;
 }
 
@@ -41,6 +62,8 @@ void ReplyDb::erase_if(
     if (drop(it->second)) {
       insert_order_.erase(it->first);
       it = entries_.erase(it);
+      ++revision_;
+      ++view_shape_revision_;
     } else {
       ++it;
     }
@@ -48,6 +71,9 @@ void ReplyDb::erase_if(
 }
 
 void ReplyDb::corrupt(Rng& rng, NodeId node_space) {
+  // Corruption may have touched anything.
+  ++revision_;
+  ++view_shape_revision_;
   auto rand_node = [&rng, node_space] {
     return static_cast<NodeId>(
         rng.next_below(static_cast<std::uint64_t>(node_space)));

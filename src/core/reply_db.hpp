@@ -41,9 +41,31 @@ class ReplyDb {
 
   /// Remove entries for which `drop` returns true.
   void erase_if(const std::function<bool(const proto::QueryReply&)>& drop);
-  void clear() { entries_.clear(); }
+  void clear() {
+    if (!entries_.empty()) {
+      ++revision_;
+      ++view_shape_revision_;
+    }
+    entries_.clear();
+  }
 
   [[nodiscard]] std::uint64_t c_resets() const { return c_resets_; }
+
+  /// Monotonic content revision: bumps whenever the stored reply set
+  /// changes (insert, content-changing replace, erase, C-reset, eviction,
+  /// corruption). Storing a reply identical to the held entry leaves it
+  /// untouched, which is what lets the controller's ViewCache survive
+  /// retransmissions and steady-state re-replies without a rebuild.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  /// Like revision(), but insensitive to fields that never enter a topology
+  /// view: a replace that only moves tag_for_querier / managers /
+  /// rule_owners (the steady-state round-tag churn) leaves it untouched.
+  /// An unchanged value guarantees the *structure* of any res view over an
+  /// unchanged entry subset is unchanged — the ViewCache's slot-reuse key.
+  [[nodiscard]] std::uint64_t view_shape_revision() const {
+    return view_shape_revision_;
+  }
 
   /// Transient-fault hook: fabricate bogus replies and scramble stored ones.
   void corrupt(Rng& rng, NodeId node_space);
@@ -54,6 +76,8 @@ class ReplyDb {
   std::uint64_t insert_counter_ = 0;
   std::map<NodeId, std::uint64_t> insert_order_;  // for LRU eviction
   std::uint64_t c_resets_ = 0;
+  std::uint64_t revision_ = 0;
+  std::uint64_t view_shape_revision_ = 0;
 };
 
 }  // namespace ren::core

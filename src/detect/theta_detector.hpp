@@ -50,6 +50,13 @@ class ThetaDetector {
 
   [[nodiscard]] std::uint64_t rounds() const { return round_; }
 
+  /// Monotonic liveness epoch: bumps exactly when the reported set live()
+  /// changes (a neighbor confirmed, suspected, rehabilitated, or a live
+  /// entry dropped from the candidate ports). Detection rounds that leave
+  /// the set unchanged leave it untouched — the controller's ViewCache keys
+  /// on it to avoid rebuilding views on quiet ticks.
+  [[nodiscard]] std::uint64_t liveness_epoch() const { return liveness_epoch_; }
+
   /// Transient-fault hook: scramble counters and suspicion flags.
   void corrupt(Rng& rng);
 
@@ -61,10 +68,15 @@ class ThetaDetector {
     bool suspected = true;           ///< starts suspected until confirmed
   };
 
+  static bool entry_live(const Entry& e) {
+    return e.confirmed && !e.suspected;
+  }
+
   NodeId self_;
   Config config_;
   std::map<NodeId, Entry> entries_;  // ordered => deterministic iteration
   std::uint64_t round_ = 0;
+  std::uint64_t liveness_epoch_ = 0;
 };
 
 }  // namespace ren::detect

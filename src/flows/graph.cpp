@@ -76,34 +76,45 @@ int Graph::diameter() const {
 namespace {
 
 // Unit-capacity max-flow via repeated BFS augmentation (Edmonds-Karp on the
-// residual multigraph). Small graphs only; fine for tests and generators.
+// residual multigraph). Graph ids are index-dense, so the residual
+// capacities live in a flat n x n array — a per-edge lookup is one indexed
+// load instead of a std::map<std::pair,int> search, which removed a log
+// factor from every BFS step of edge_connectivity() (n-1 max-flows, each
+// touching every edge per augmentation).
 int unit_max_flow(const Graph& g, int s, int t, int cap_limit) {
-  const int n = g.n();
-  // residual capacity per directed pair, stored sparsely.
-  std::map<std::pair<int, int>, int> cap;
-  for (int u = 0; u < n; ++u) {
-    for (int v : g.neighbors(u)) cap[{u, v}] = 1;
+  const auto n = static_cast<std::size_t>(g.n());
+  std::vector<std::int16_t> cap(n * n, 0);
+  auto at = [n](int u, int v) -> std::size_t {
+    return static_cast<std::size_t>(u) * n + static_cast<std::size_t>(v);
+  };
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v : g.neighbors(u)) cap[at(u, v)] = 1;
   }
   int flow = 0;
+  std::vector<int> parent(n);
+  std::vector<int> queue;
+  queue.reserve(n);
   while (flow < cap_limit) {
-    std::vector<int> parent(static_cast<std::size_t>(n), -1);
+    std::fill(parent.begin(), parent.end(), -1);
     parent[static_cast<std::size_t>(s)] = s;
-    std::deque<int> q{s};
-    while (!q.empty() && parent[static_cast<std::size_t>(t)] < 0) {
-      const int u = q.front();
-      q.pop_front();
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0;
+         head < queue.size() && parent[static_cast<std::size_t>(t)] < 0;
+         ++head) {
+      const int u = queue[head];
       for (int v : g.neighbors(u)) {
-        if (parent[static_cast<std::size_t>(v)] < 0 && cap[{u, v}] > 0) {
+        if (parent[static_cast<std::size_t>(v)] < 0 && cap[at(u, v)] > 0) {
           parent[static_cast<std::size_t>(v)] = u;
-          q.push_back(v);
+          queue.push_back(v);
         }
       }
     }
     if (parent[static_cast<std::size_t>(t)] < 0) break;
     for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
       const int u = parent[static_cast<std::size_t>(v)];
-      cap[{u, v}] -= 1;
-      cap[{v, u}] += 1;
+      cap[at(u, v)] -= 1;
+      cap[at(v, u)] += 1;
     }
     ++flow;
   }
@@ -175,8 +186,98 @@ std::vector<NodeId> TopoView::reachable_set(NodeId from) const {
 
 bool TopoView::reachable(NodeId from, NodeId to) const {
   if (from == to) return has_node(from);
-  const auto set = reachable_set(from);
-  return std::find(set.begin(), set.end(), to) != set.end();
+  if (!has_node(from)) return false;
+  std::set<NodeId> seen{from};
+  std::deque<NodeId> q{from};
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop_front();
+    if (const auto* nbrs = neighbors(u)) {
+      for (NodeId v : *nbrs) {
+        if (v == to) return true;
+        if (seen.insert(v).second) q.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+// --- FlatView ---------------------------------------------------------------
+
+void FlatView::assign(const TopoView& view) {
+  const auto n = view.adj().size();
+  ids_.clear();
+  ids_.reserve(n);
+  off_.clear();
+  off_.reserve(n + 1);
+  nbr_.clear();
+  nbr_.reserve(view.edge_count());
+  for (const auto& [id, _] : view.adj()) ids_.push_back(id);
+
+  // Direct id -> index table when the id range is reasonably dense (the
+  // protocol's ids are 0..N-1; only corrupt replies fabricate outliers).
+  const NodeId max_id = ids_.empty() ? -1 : ids_.back();
+  const bool dense = max_id >= 0 &&
+                     static_cast<std::size_t>(max_id) < 4 * n + 1024;
+  direct_.clear();
+  if (dense) {
+    direct_.assign(static_cast<std::size_t>(max_id) + 1, -1);
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (ids_[i] >= 0) direct_[static_cast<std::size_t>(ids_[i])] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  off_.push_back(0);
+  for (const auto& [_, nbrs] : view.adj()) {
+    for (NodeId v : nbrs) {
+      // Claimed neighbors are always nodes of the view (TopoView::add_edge).
+      nbr_.push_back(static_cast<std::int32_t>(index_of(v)));
+    }
+    off_.push_back(static_cast<std::int32_t>(nbr_.size()));
+  }
+  mark_.assign(ids_.size(), 0);
+  stamp_ = 0;
+}
+
+int FlatView::index_of(NodeId id) const {
+  if (!direct_.empty()) {
+    if (id < 0 || static_cast<std::size_t>(id) >= direct_.size()) return -1;
+    return direct_[static_cast<std::size_t>(id)];
+  }
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return -1;
+  return static_cast<int>(it - ids_.begin());
+}
+
+void FlatView::reachable_from(NodeId from, std::vector<NodeId>& out) {
+  if (++stamp_ == 0) {  // stamp wrapped: reset marks once, restart at 1
+    std::fill(mark_.begin(), mark_.end(), 0);
+    stamp_ = 1;
+  }
+  const int src = index_of(from);
+  if (src < 0) return;
+  queue_.clear();
+  queue_.push_back(src);
+  mark_[static_cast<std::size_t>(src)] = stamp_;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::int32_t u = queue_[head];
+    out.push_back(ids_[static_cast<std::size_t>(u)]);
+    const std::int32_t end = off_[static_cast<std::size_t>(u) + 1];
+    for (std::int32_t e = off_[static_cast<std::size_t>(u)]; e < end; ++e) {
+      const std::int32_t v = nbr_[static_cast<std::size_t>(e)];
+      if (mark_[static_cast<std::size_t>(v)] != stamp_) {
+        mark_[static_cast<std::size_t>(v)] = stamp_;
+        queue_.push_back(v);
+      }
+    }
+  }
+}
+
+bool FlatView::reached(NodeId id) const {
+  if (stamp_ == 0) return false;  // no reachable_from() since assign()
+  const int idx = index_of(id);
+  return idx >= 0 && mark_[static_cast<std::size_t>(idx)] == stamp_;
 }
 
 std::uint64_t TopoView::fingerprint() const {

@@ -84,6 +84,8 @@ class TopoView {
 
   /// Nodes reachable from `from` along directed edges (including `from`).
   [[nodiscard]] std::vector<NodeId> reachable_set(NodeId from) const;
+  /// Early-exit BFS: stops as soon as `to` is dequeued-to instead of
+  /// materializing (and then linearly scanning) the full reachable set.
   [[nodiscard]] bool reachable(NodeId from, NodeId to) const;
 
   /// Stable content hash for caching compiled rules per view.
@@ -93,6 +95,48 @@ class TopoView {
 
  private:
   std::map<NodeId, std::vector<NodeId>> adj_;  // sorted unique out-neighbors
+};
+
+/// An index-dense snapshot of a TopoView: node ids are mapped to compact
+/// indices 0..n-1 (in the view's sorted node order) with CSR adjacency, so
+/// reachability runs as an integer BFS over flat arrays instead of a
+/// std::set-seeded walk over std::map adjacency. The visited array is
+/// epoch-stamped: re-assigning or re-running BFS bumps the stamp instead of
+/// clearing, and the scratch buffers are retained across assign() calls, so
+/// a long-lived FlatView (one per cached controller view) allocates nothing
+/// in steady state.
+class FlatView {
+ public:
+  FlatView() = default;
+
+  /// Snapshot `view`. Reuses this instance's buffers.
+  void assign(const TopoView& view);
+
+  [[nodiscard]] int n() const { return static_cast<int>(ids_.size()); }
+  /// Compact index of `id`, or -1 when the node is not in the snapshot.
+  /// O(1) for the dense ids the protocol produces (a direct table covers
+  /// them); corrupt out-of-range ids fall back to a binary search.
+  [[nodiscard]] int index_of(NodeId id) const;
+  [[nodiscard]] NodeId id_at(int idx) const {
+    return ids_[static_cast<std::size_t>(idx)];
+  }
+
+  /// BFS along directed edges from `from`, appending reached node ids to
+  /// `out` in BFS order (including `from`). Visited stamps stay in place, so
+  /// `reached()` afterwards answers membership in O(1). Does nothing when
+  /// `from` is not in the snapshot.
+  void reachable_from(NodeId from, std::vector<NodeId>& out);
+  /// Membership in the most recent reachable_from() run.
+  [[nodiscard]] bool reached(NodeId id) const;
+
+ private:
+  std::vector<NodeId> ids_;           // sorted node ids (map order)
+  std::vector<std::int32_t> direct_;  // id -> index table for dense ids
+  std::vector<std::int32_t> off_;     // CSR offsets (size n+1)
+  std::vector<std::int32_t> nbr_;     // CSR neighbor indices
+  std::vector<std::uint32_t> mark_;   // epoch-stamped visited array
+  std::vector<std::int32_t> queue_;   // BFS scratch
+  std::uint32_t stamp_ = 0;
 };
 
 }  // namespace ren::flows

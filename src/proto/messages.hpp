@@ -81,6 +81,8 @@ struct QueryReply {
   std::size_t rules_wire_bytes = 0;  ///< encoded size of the full rule set
   Tag tag_for_querier;
   bool from_controller = false;
+
+  friend bool operator==(const QueryReply&, const QueryReply&) = default;
 };
 
 using Message = std::variant<CommandBatch, QueryReply>;

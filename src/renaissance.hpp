@@ -15,6 +15,7 @@
 #include "flows/resilient_paths.hpp"  // verification helpers
 #include "net/simulator.hpp"          // discrete-event substrate
 #include "scenario/library.hpp"       // built-in fault-timeline scenarios
+#include "scenario/merge.hpp"         // shard-report merging
 #include "scenario/runner.hpp"        // parallel campaign runner
 #include "scenario/scenario.hpp"      // declarative scenario model
 #include "sim/experiment.hpp"         // experiment harness

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace ren::scenario {
@@ -14,9 +15,11 @@ namespace {
 }
 
 /// Fixed-format number rendering: integers without a fraction, everything
-/// else with enough digits to round-trip the doubles the runner produces.
-/// The format is part of the determinism contract (equal doubles serialize
-/// to equal bytes regardless of how the campaign was threaded).
+/// else with the fewest digits (>= 12 significant) that parse back to the
+/// exact double. The format is part of the determinism contract (equal
+/// doubles serialize to equal bytes regardless of how the campaign was
+/// threaded), and the exact round-trip is what lets `--merge` rebuild
+/// shard aggregates byte-identical to the unsharded report.
 std::string format_number(double v) {
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];
@@ -24,7 +27,10 @@ std::string format_number(double v) {
     return buf;
   }
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  for (int precision = 12; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   return buf;
 }
 

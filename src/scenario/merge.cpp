@@ -1,0 +1,158 @@
+#include "scenario/merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace ren::scenario {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("merge: " + what);
+}
+
+const Json& member(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) bad(std::string("missing key \"") + key + "\"");
+  return *v;
+}
+
+/// The outcome of one executed trial, reconstructed from a shard report.
+TrialOutcome outcome_from_raw(const Json& rj) {
+  TrialOutcome out;
+  out.ok = true;
+  for (const Json& cj : member(rj, "checkpoints").as_array()) {
+    TrialOutcome::Checkpoint cp;
+    cp.label = member(cj, "label").as_string();
+    cp.converged = member(cj, "converged").as_bool();
+    cp.seconds = member(cj, "seconds").as_number();
+    out.checkpoints.push_back(std::move(cp));
+  }
+  out.messages = member(rj, "messages").as_number();
+  out.commands = member(rj, "commands").as_number();
+  out.illegitimate_deletions =
+      member(rj, "illegitimate_deletions").as_number();
+  if (const Json* t = rj.find("traffic_mbits"); t != nullptr) {
+    out.has_traffic = true;
+    out.traffic_mbits = t->as_number();
+  }
+  return out;
+}
+
+/// Errored trials are reported as "trial N: message" strings; recover the
+/// trial index and the message so they re-aggregate in trial order.
+std::pair<int, TrialOutcome> outcome_from_error(const std::string& entry) {
+  const std::string prefix = "trial ";
+  if (entry.compare(0, prefix.size(), prefix) != 0) {
+    bad("unparseable error entry \"" + entry + "\"");
+  }
+  std::size_t used = 0;
+  int trial = -1;
+  try {
+    trial = std::stoi(entry.substr(prefix.size()), &used);
+  } catch (const std::exception&) {
+    bad("unparseable error entry \"" + entry + "\"");
+  }
+  const std::size_t sep = prefix.size() + used;
+  if (trial < 0 || entry.compare(sep, 2, ": ") != 0) {
+    bad("unparseable error entry \"" + entry + "\"");
+  }
+  TrialOutcome out;
+  out.ok = false;
+  out.error = entry.substr(sep + 2);
+  return {trial, std::move(out)};
+}
+
+}  // namespace
+
+CampaignResult merge_campaigns(const std::vector<Json>& shards) {
+  if (shards.empty()) bad("no shard reports given");
+
+  CampaignResult result;
+  const Json& first = shards.front();
+  result.scenario = member(first, "scenario").as_string();
+  result.description = member(first, "description").as_string();
+  result.profile = member(first, "profile").as_string();
+  result.trials_per_cell =
+      static_cast<int>(member(first, "trials_per_cell").as_number());
+  result.base_seed =
+      static_cast<std::uint64_t>(member(first, "seed").as_number());
+  result.shard_index = 0;
+  result.shard_count = 1;
+
+  const JsonArray& first_cells = member(first, "cells").as_array();
+  // (cell index) -> trial -> outcome, accumulated over every shard.
+  std::vector<std::map<int, TrialOutcome>> merged(first_cells.size());
+
+  for (const Json& shard : shards) {
+    if (member(shard, "scenario").as_string() != result.scenario ||
+        member(shard, "description").as_string() != result.description ||
+        member(shard, "profile").as_string() != result.profile ||
+        member(shard, "seed").as_number() !=
+            static_cast<double>(result.base_seed) ||
+        static_cast<int>(member(shard, "trials_per_cell").as_number()) !=
+            result.trials_per_cell) {
+      bad("shards come from different campaigns (scenario/profile/seed/"
+          "trials mismatch)");
+    }
+    const JsonArray& cells = member(shard, "cells").as_array();
+    if (cells.size() != first_cells.size()) bad("shard grids differ");
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const Json& cell = cells[c];
+      if (member(cell, "topology").as_string() !=
+              member(first_cells[c], "topology").as_string() ||
+          member(cell, "controllers").as_number() !=
+              member(first_cells[c], "controllers").as_number()) {
+        bad("shard grids differ (cell " + std::to_string(c) + ")");
+      }
+      const int executed = static_cast<int>(member(cell, "trials").as_number());
+      const Json* raw = cell.find("raw");
+      const std::size_t raw_n = raw != nullptr ? raw->as_array().size() : 0;
+      if (static_cast<std::size_t>(executed) != raw_n) {
+        bad("shard for cell \"" + member(cell, "topology").as_string() +
+            "\" reports " + std::to_string(executed) + " trials but " +
+            std::to_string(raw_n) +
+            " raw samples; re-run the shard with --raw");
+      }
+      auto add = [&](int trial, TrialOutcome out) {
+        if (trial < 0 || trial >= result.trials_per_cell) {
+          bad("trial index " + std::to_string(trial) + " out of range");
+        }
+        if (!merged[c].emplace(trial, std::move(out)).second) {
+          bad("trial " + std::to_string(trial) + " of cell \"" +
+              member(cell, "topology").as_string() +
+              "\" appears in more than one shard");
+        }
+      };
+      if (raw != nullptr) {
+        for (const Json& rj : raw->as_array()) {
+          add(static_cast<int>(member(rj, "trial").as_number()),
+              outcome_from_raw(rj));
+        }
+      }
+      if (const Json* errs = cell.find("errors"); errs != nullptr) {
+        for (const Json& e : errs->as_array()) {
+          auto [trial, out] = outcome_from_error(e.as_string());
+          add(trial, std::move(out));
+        }
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < first_cells.size(); ++c) {
+    std::vector<std::pair<int, TrialOutcome>> outcomes;
+    outcomes.reserve(merged[c].size());
+    for (auto& [trial, out] : merged[c]) {
+      outcomes.emplace_back(trial, std::move(out));  // map => trial order
+    }
+    result.cells.push_back(aggregate_cell(
+        member(first_cells[c], "topology").as_string(),
+        static_cast<int>(member(first_cells[c], "controllers").as_number()),
+        std::move(outcomes), /*include_raw=*/false));
+  }
+  return result;
+}
+
+}  // namespace ren::scenario

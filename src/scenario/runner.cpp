@@ -81,6 +81,7 @@ class TrialExecutor {
     auto cfg = profile_config(topology, controllers, seed, opt.paper_timers);
     cfg.with_hosts = s.needs_hosts();
     cfg.monitor_paranoid = opt.paranoid_monitor;
+    cfg.views_paranoid = opt.paranoid_views;
     exp_ = std::make_unique<sim::Experiment>(std::move(cfg));
     cp_ = exp_->control_plane();
   }
@@ -307,60 +308,69 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
   std::size_t at = 0;
   for (const auto& t : s.topologies) {
     for (int nc : s.controllers) {
-      CellResult cr;
-      cr.topology = t;
-      cr.controllers = nc;
-      Sample messages, commands, violations, traffic;
-      // label -> aggregation slot, in first-seen (timeline) order
-      std::vector<std::string> labels;
-      std::vector<Sample> cp_seconds;
-      std::vector<int> cp_converged, cp_total;
+      std::vector<std::pair<int, TrialOutcome>> cell_outcomes;
       for (int r = 0; r < s.trials; ++r, ++at) {
         if (executed[at] == 0) continue;  // another shard's trial
-        const TrialOutcome& out = outcomes[at];
-        if (!out.ok) {
-          cr.errors.push_back("trial " + std::to_string(r) + ": " +
-                              out.error);
-          continue;
-        }
-        ++cr.trials;
-        if (opt.include_raw) cr.raw.emplace_back(r, out);
-        messages.add(out.messages);
-        commands.add(out.commands);
-        violations.add(out.illegitimate_deletions);
-        if (out.has_traffic) {
-          cr.has_traffic = true;
-          traffic.add(out.traffic_mbits);
-        }
-        for (std::size_t k = 0; k < out.checkpoints.size(); ++k) {
-          const auto& c = out.checkpoints[k];
-          if (k >= labels.size()) {
-            labels.push_back(c.label);
-            cp_seconds.emplace_back();
-            cp_converged.push_back(0);
-            cp_total.push_back(0);
-          }
-          cp_seconds[k].add(c.seconds);
-          cp_converged[k] += c.converged ? 1 : 0;
-          cp_total[k] += 1;
-        }
+        cell_outcomes.emplace_back(r, std::move(outcomes[at]));
       }
-      for (std::size_t k = 0; k < labels.size(); ++k) {
-        CellResult::CheckpointAgg agg;
-        agg.label = labels[k];
-        agg.converged = cp_converged[k];
-        agg.trials = cp_total[k];
-        agg.seconds = cp_seconds[k].percentiles();
-        cr.checkpoints.push_back(std::move(agg));
-      }
-      cr.messages = messages.percentiles();
-      cr.commands = commands.percentiles();
-      cr.illegitimate_deletions = violations.percentiles();
-      cr.traffic_mbits = traffic.percentiles();
-      result.cells.push_back(std::move(cr));
+      result.cells.push_back(
+          aggregate_cell(t, nc, std::move(cell_outcomes), opt.include_raw));
     }
   }
   return result;
+}
+
+CellResult aggregate_cell(const std::string& topology, int controllers,
+                          std::vector<std::pair<int, TrialOutcome>> outcomes,
+                          bool include_raw) {
+  CellResult cr;
+  cr.topology = topology;
+  cr.controllers = controllers;
+  Sample messages, commands, violations, traffic;
+  // label -> aggregation slot, in first-seen (timeline) order
+  std::vector<std::string> labels;
+  std::vector<Sample> cp_seconds;
+  std::vector<int> cp_converged, cp_total;
+  for (auto& [r, out] : outcomes) {
+    if (!out.ok) {
+      cr.errors.push_back("trial " + std::to_string(r) + ": " + out.error);
+      continue;
+    }
+    ++cr.trials;
+    messages.add(out.messages);
+    commands.add(out.commands);
+    violations.add(out.illegitimate_deletions);
+    if (out.has_traffic) {
+      cr.has_traffic = true;
+      traffic.add(out.traffic_mbits);
+    }
+    for (std::size_t k = 0; k < out.checkpoints.size(); ++k) {
+      const auto& c = out.checkpoints[k];
+      if (k >= labels.size()) {
+        labels.push_back(c.label);
+        cp_seconds.emplace_back();
+        cp_converged.push_back(0);
+        cp_total.push_back(0);
+      }
+      cp_seconds[k].add(c.seconds);
+      cp_converged[k] += c.converged ? 1 : 0;
+      cp_total[k] += 1;
+    }
+    if (include_raw) cr.raw.emplace_back(r, std::move(out));
+  }
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    CellResult::CheckpointAgg agg;
+    agg.label = labels[k];
+    agg.converged = cp_converged[k];
+    agg.trials = cp_total[k];
+    agg.seconds = cp_seconds[k].percentiles();
+    cr.checkpoints.push_back(std::move(agg));
+  }
+  cr.messages = messages.percentiles();
+  cr.commands = commands.percentiles();
+  cr.illegitimate_deletions = violations.percentiles();
+  cr.traffic_mbits = traffic.percentiles();
+  return cr;
 }
 
 Json CampaignResult::to_json() const {

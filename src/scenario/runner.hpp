@@ -32,6 +32,9 @@ struct RunnerOptions {
   /// Differential-test mode: every trial shadows the incremental legitimacy
   /// verdict with a fresh full check and fails the trial on divergence.
   bool paranoid_monitor = false;
+  /// Differential-test mode: every controller shadows its cached res/fusion
+  /// views with from-scratch builds and fails the trial on divergence.
+  bool paranoid_views = false;
   /// Attach raw per-trial samples to each cell (and its JSON) instead of
   /// only the percentile aggregates.
   bool include_raw = false;
@@ -109,6 +112,15 @@ struct CampaignResult {
                                      const std::string& topology,
                                      int controllers, int trial,
                                      const RunnerOptions& opt);
+
+/// Fold executed trials (in ascending trial order; errored ones carry
+/// ok=false) into one cell's aggregates. Takes the outcomes by value (they
+/// are consumed — raw export moves them). run_campaign and merge_campaigns
+/// share this, which is what makes a merged shard report byte-identical to
+/// the unsharded campaign.
+[[nodiscard]] CellResult aggregate_cell(
+    const std::string& topology, int controllers,
+    std::vector<std::pair<int, TrialOutcome>> outcomes, bool include_raw);
 
 /// Expand the grid, run every trial (in parallel), aggregate.
 /// Validates topology names up front and throws std::invalid_argument for

@@ -50,6 +50,10 @@ struct ExperimentConfig {
   /// Differential-test mode: shadow every incremental verdict with a full
   /// check and throw on divergence (slow; tests/CI only).
   bool monitor_paranoid = false;
+  bool cache_views = true;  ///< per-tick controller view cache (PR 3)
+  /// Differential-test mode: shadow every cached controller view with a
+  /// from-scratch build and throw on divergence (slow; tests/CI only).
+  bool views_paranoid = false;
   std::size_t max_rules = 1u << 20;
   std::size_t max_replies = 0;        ///< 0 = auto: 2(N_C+N_S)+4
   std::size_t max_managers = 64;

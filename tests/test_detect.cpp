@@ -101,6 +101,29 @@ TEST(ThetaDetector, ProbesAllCandidatesEveryRound) {
   EXPECT_EQ(h.probed, (std::vector<NodeId>{4, 5, 6}));
 }
 
+TEST(ThetaDetector, LivenessEpochBumpsExactlyWhenTheReportedSetChanges) {
+  Harness h(2);
+  h.det.set_candidates({1, 2});
+  const auto e0 = h.det.liveness_epoch();
+  h.round({});  // nothing replied: still unconfirmed, no change
+  EXPECT_EQ(h.det.liveness_epoch(), e0);
+  h.round({{1, true}, {2, true}});  // replies land: still pre-tick state
+  h.round({{1, true}, {2, true}});
+  const auto e1 = h.det.liveness_epoch();
+  EXPECT_GT(e1, e0);  // both neighbors entered the reported set
+  // Quiet rounds with the same answers leave the epoch untouched.
+  for (int i = 0; i < 5; ++i) h.round({{1, true}, {2, true}});
+  EXPECT_EQ(h.det.liveness_epoch(), e1);
+  // Relative misses eventually suspect 2: one bump when it drops out.
+  for (int i = 0; i < 4; ++i) h.round({{1, true}, {2, false}});
+  const auto e2 = h.det.liveness_epoch();
+  EXPECT_GT(e2, e1);
+  EXPECT_EQ(h.det.live(), (std::vector<NodeId>{1}));
+  // Dropping a live candidate port changes the reported set too.
+  h.det.set_candidates({2});
+  EXPECT_GT(h.det.liveness_epoch(), e2);
+}
+
 TEST(ThetaDetector, RecoversFromCorruption) {
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     Harness h(3);

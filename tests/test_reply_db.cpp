@@ -67,6 +67,50 @@ TEST(ReplyDb, EraseIfFilters) {
   EXPECT_EQ(db.find(2), nullptr);
 }
 
+TEST(ReplyDb, RevisionTracksContentNotRetransmissions) {
+  ReplyDb db({8, true});
+  const auto r0 = db.revision();
+  db.store(reply(1, 1));
+  EXPECT_GT(db.revision(), r0);  // insert
+  const auto r1 = db.revision();
+  db.store(reply(1, 1));
+  EXPECT_EQ(db.revision(), r1);  // identical re-store: untouched
+  db.store(reply(1, 2));
+  EXPECT_GT(db.revision(), r1);  // tag moved: content changed
+  const auto r2 = db.revision();
+  db.erase_if([](const proto::QueryReply&) { return true; });
+  EXPECT_GT(db.revision(), r2);  // erase
+  const auto r3 = db.revision();
+  db.erase_if([](const proto::QueryReply&) { return true; });
+  EXPECT_EQ(db.revision(), r3);  // nothing to erase: untouched
+}
+
+TEST(ReplyDb, ViewShapeRevisionIgnoresTagChurn) {
+  ReplyDb db({8, true});
+  db.store(reply(1, 1));
+  db.store(reply(2, 1));
+  const auto s0 = db.view_shape_revision();
+  const auto r0 = db.revision();
+  // Steady-state re-replies: same node, same neighborhood, new round tag.
+  db.store(reply(1, 2));
+  db.store(reply(2, 2));
+  EXPECT_GT(db.revision(), r0);            // content did change
+  EXPECT_EQ(db.view_shape_revision(), s0);  // but no view can tell
+  // A changed neighborhood is a shape change.
+  auto m = reply(1, 3);
+  m.nc = {5};
+  db.store(std::move(m));
+  EXPECT_GT(db.view_shape_revision(), s0);
+  // So are erases, C-resets and corruption.
+  const auto s1 = db.view_shape_revision();
+  db.erase_if([](const proto::QueryReply& r) { return r.id == 2; });
+  EXPECT_GT(db.view_shape_revision(), s1);
+  const auto s2 = db.view_shape_revision();
+  Rng rng(1);
+  db.corrupt(rng, 8);
+  EXPECT_GT(db.view_shape_revision(), s2);
+}
+
 TEST(ReplyDb, CorruptionAddsBoundedGarbage) {
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     ReplyDb db({64, true});

@@ -300,6 +300,65 @@ TEST(CampaignRunner, ShardsPartitionTheGridExactly) {
   }
 }
 
+TEST(CampaignRunner, MergeReproducesUnshardedReportByteForByte) {
+  const Scenario s = quick_scenario();
+  scenario::RunnerOptions plain;
+  plain.threads = 2;
+  const std::string unsharded =
+      scenario::run_campaign(s, plain).to_json().pretty();
+
+  // Run the same campaign as 3 shards with raw samples, round-trip each
+  // report through its JSON text (as files would), and merge.
+  std::vector<Json> shards;
+  for (int k = 0; k < 3; ++k) {
+    scenario::RunnerOptions part = plain;
+    part.include_raw = true;
+    part.shard_index = k;
+    part.shard_count = 3;
+    shards.push_back(Json::parse(
+        scenario::run_campaign(s, part).to_json().pretty()));
+  }
+  const auto merged = scenario::merge_campaigns(shards);
+  EXPECT_EQ(merged.to_json().pretty(), unsharded);
+
+  // A partial merge still aggregates (fewer trials), just not identically.
+  const auto partial =
+      scenario::merge_campaigns({shards[0], shards[2]});
+  EXPECT_LT(partial.cells[0].trials, merged.cells[0].trials);
+}
+
+TEST(CampaignRunner, MergeRejectsBadInput) {
+  const Scenario s = quick_scenario();
+  scenario::RunnerOptions raw1;
+  raw1.threads = 2;
+  raw1.include_raw = true;
+  raw1.shard_count = 2;
+  const auto shard1 =
+      Json::parse(scenario::run_campaign(s, raw1).to_json().pretty());
+
+  // Overlapping trials: the same shard twice.
+  EXPECT_THROW((void)scenario::merge_campaigns({shard1, shard1}),
+               std::invalid_argument);
+  // A report without raw samples cannot be merged.
+  scenario::RunnerOptions no_raw = raw1;
+  no_raw.include_raw = false;
+  no_raw.shard_index = 1;
+  const auto bare =
+      Json::parse(scenario::run_campaign(s, no_raw).to_json().pretty());
+  EXPECT_THROW((void)scenario::merge_campaigns({bare}),
+               std::invalid_argument);
+  // Mismatched campaigns (different seed) don't merge.
+  Scenario other = quick_scenario();
+  other.base_seed = 999;
+  scenario::RunnerOptions raw2 = raw1;
+  raw2.shard_index = 1;
+  const auto alien =
+      Json::parse(scenario::run_campaign(other, raw2).to_json().pretty());
+  EXPECT_THROW((void)scenario::merge_campaigns({shard1, alien}),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario::merge_campaigns({}), std::invalid_argument);
+}
+
 TEST(CampaignRunner, RejectsBadShard) {
   scenario::RunnerOptions opt;
   opt.shard_index = 2;

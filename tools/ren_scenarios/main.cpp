@@ -27,6 +27,7 @@ using namespace ren;
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ren_scenarios (--scenario NAME | --spec FILE) [options]\n"
+               "       ren_scenarios --merge SHARD.json... [--out FILE]\n"
                "       ren_scenarios --list\n"
                "\n"
                "options:\n"
@@ -42,9 +43,14 @@ void usage(std::FILE* to) {
                "  --shard K/N            run shard K of N (K = 1..N); the union\n"
                "                         of all N shard reports is the full\n"
                "                         campaign (seeds depend only on the grid)\n"
+               "  --merge FILE...        fold --shard --raw reports back into one\n"
+               "                         campaign aggregate (byte-identical to the\n"
+               "                         unsharded report when all shards are given)\n"
                "  --raw                  include raw per-trial samples in the report\n"
                "  --paranoid             differential-check the incremental\n"
                "                         legitimacy monitor every sample (slow)\n"
+               "  --paranoid-views       differential-check every controller's\n"
+               "                         cached res/fusion views per tick (slow)\n"
                "  --paper-timers         paper Section 6.3 timers instead of fast\n"
                "  --out FILE             write the JSON report here (default stdout)\n"
                "  --verbose              enable Info-level simulation logging\n");
@@ -78,11 +84,13 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   std::string scenario_name, spec_path, out_path;
   std::string topologies_csv, controllers_csv;
+  std::vector<std::string> merge_inputs;
   int trials = 0, threads = 0;
   int shard_index = 0, shard_count = 1;
   std::uint64_t seed = 0;
   bool have_seed = false, paper_timers = false, print_spec = false;
-  bool include_raw = false, paranoid = false;
+  bool include_raw = false, paranoid = false, paranoid_views = false;
+  bool merge_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -139,20 +147,79 @@ int main(int argc, char** argv) {
                      v.c_str());
         return 2;
       }
+    } else if (arg == "--merge") {
+      merge_mode = true;
     } else if (arg == "--raw") {
       include_raw = true;
     } else if (arg == "--paranoid") {
       paranoid = true;
+    } else if (arg == "--paranoid-views") {
+      paranoid_views = true;
     } else if (arg == "--paper-timers") {
       paper_timers = true;
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--verbose") {
       ren::set_log_level(LogLevel::Info);
+    } else if (merge_mode && !arg.empty() && arg[0] != '-') {
+      merge_inputs.push_back(arg);
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg.c_str());
       usage(stderr);
       return 2;
+    }
+  }
+
+  if (merge_mode) {
+    if (!scenario_name.empty() || !spec_path.empty()) {
+      std::fprintf(stderr, "--merge excludes --scenario / --spec\n");
+      return 2;
+    }
+    // Campaign options do not constrain a merge; reject them instead of
+    // silently producing a report the flags had no effect on.
+    if (print_spec || !topologies_csv.empty() || !controllers_csv.empty() ||
+        trials > 0 || have_seed || threads != 0 || shard_count != 1 ||
+        include_raw || paranoid || paranoid_views || paper_timers) {
+      std::fprintf(stderr,
+                   "--merge takes only shard files and --out; campaign "
+                   "options have no effect on a merge\n");
+      return 2;
+    }
+    if (merge_inputs.empty()) {
+      std::fprintf(stderr, "--merge requires at least one shard report\n");
+      return 2;
+    }
+    try {
+      std::vector<scenario::Json> shards;
+      shards.reserve(merge_inputs.size());
+      for (const auto& path : merge_inputs) {
+        shards.push_back(scenario::Json::parse(read_file(path)));
+      }
+      const auto merged = scenario::merge_campaigns(shards);
+      const std::string report = merged.to_json().pretty();
+      if (out_path.empty()) {
+        std::fputs(report.c_str(), stdout);
+      } else {
+        std::ofstream out(out_path);
+        if (!out) throw std::runtime_error("cannot write: " + out_path);
+        out << report;
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+      }
+      std::size_t have = 0, want = 0;
+      for (const auto& cell : merged.cells) {
+        have += static_cast<std::size_t>(cell.trials) + cell.errors.size();
+        want += static_cast<std::size_t>(merged.trials_per_cell);
+      }
+      if (have < want) {
+        std::fprintf(stderr,
+                     "warning: merged %zu of %zu trials — some shards are "
+                     "missing\n",
+                     have, want);
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -187,6 +254,7 @@ int main(int argc, char** argv) {
     opt.shard_count = shard_count;
     opt.include_raw = include_raw;
     opt.paranoid_monitor = paranoid;
+    opt.paranoid_views = paranoid_views;
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = scenario::run_campaign(s, opt);
     const auto elapsed =
