@@ -119,10 +119,10 @@ inline void print_series(const std::string& label,
 
 // --- Scenario-engine ports ---------------------------------------------------
 
-/// Trial count from argv[1] (default kRuns); exits with a usage error on
+/// Trial count from argv[1] (default `def`); exits with a usage error on
 /// anything that is not a positive integer.
-inline int trials_from_argv(int argc, char** argv) {
-  if (argc <= 1) return kRuns;
+inline int trials_from_argv(int argc, char** argv, int def = kRuns) {
+  if (argc <= 1) return def;
   char* end = nullptr;
   const long v = std::strtol(argv[1], &end, 10);
   if (end == argv[1] || *end != '\0' || v <= 0) {

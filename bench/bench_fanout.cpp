@@ -1,0 +1,242 @@
+// Line-19 fan-out hot path: planned shared-payload batches (PR 4) versus
+// per-tick from-scratch CommandBatch rebuilds, on the large Rocketfuel
+// networks where — after PR 3 made view construction cache-hit — the
+// per-peer batch assembly and transport submit dominate the tick.
+//
+//   bench_fanout [--quick] [--json FILE] [samples]
+//
+// For ATT and EBONE: bootstrap once, settle, then sample the cost of the
+// fan-out section of one scheduled Controller::run_iteration() — steady
+// state and churn (link flaps every few ticks) — with the batch planner
+// enabled and with it disabled (Config::plan_batches = false, which
+// rebuilds every per-peer batch exactly like the seed did). Samples come
+// from the in-situ fan-out probe, so the protocol under test is never
+// perturbed. The harness also counts heap allocations per fan-out (global
+// operator new hook).
+//
+// Acceptance: >= 3x median steady-state speedup on both networks (the
+// --quick smoke run used by CI gates at a lenient 1.5x to stay robust on
+// noisy shared runners; the full run enforces the real bar).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+
+#include "bench_common.hpp"
+
+// --- Allocation counting -----------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ren;
+using Clock = std::chrono::steady_clock;
+
+struct PhaseCost {
+  double median_us = 0;
+  double mean_allocs = 0;
+};
+
+sim::ExperimentConfig fanout_config(const std::string& topology,
+                                    bool plan_batches) {
+  // Fast timer profile: the per-fan-out cost under test is timer-rate
+  // independent, while paper timers would burn minutes of wall clock just
+  // simulating the bootstrap on these networks.
+  sim::ExperimentConfig cfg;
+  cfg.topology = topology;
+  cfg.controllers = 3;
+  cfg.kappa = 2;
+  cfg.seed = bench::kBaseSeed;
+  cfg.task_delay = msec(50);
+  cfg.detect_interval = msec(10);
+  cfg.monitor_interval = msec(25);
+  cfg.link_latency = usec(100);
+  cfg.theta = 10;
+  cfg.rule_retention = 3;
+  cfg.plan_batches = plan_batches;
+  return cfg;
+}
+
+/// Sample the fan-out section of the *scheduled* do-forever iterations of
+/// the first live controller via the fan-out probe. Churn mode additionally
+/// flaps links between windows.
+PhaseCost measure_phase(sim::Experiment& exp, int samples, bool churn,
+                        Rng& churn_rng) {
+  core::Controller* c = nullptr;
+  for (auto* cand : exp.controllers()) {
+    if (cand->alive()) {
+      c = cand;
+      break;
+    }
+  }
+  if (c == nullptr) std::abort();
+  auto cp = exp.control_plane();
+  Sample us;
+  double allocs = 0;
+  std::uint64_t measured = 0;
+  Clock::time_point t0;
+  std::uint64_t a0 = 0;
+  c->set_fanout_probe([&](bool begin) {
+    if (begin) {
+      a0 = g_allocations.load(std::memory_order_relaxed);
+      t0 = Clock::now();
+      return;
+    }
+    us.add(std::chrono::duration<double, std::micro>(Clock::now() - t0)
+               .count());
+    allocs += static_cast<double>(
+        g_allocations.load(std::memory_order_relaxed) - a0);
+    ++measured;
+  });
+  int window = 0;
+  while (measured < static_cast<std::uint64_t>(samples)) {
+    if (churn && window % 4 == 0) {
+      if (window % 8 == 0) {
+        faults::fail_random_links(cp, churn_rng, 1, /*keep_connected=*/true);
+      } else {
+        faults::restore_all_links(cp);
+      }
+    }
+    exp.sim().run_until(exp.sim().now() + exp.config().task_delay);
+    ++window;
+  }
+  c->set_fanout_probe(nullptr);
+  return {us.median(), allocs / static_cast<double>(measured)};
+}
+
+struct NetworkRow {
+  std::string name;
+  PhaseCost steady_planned, steady_fresh, churn_planned, churn_fresh;
+  [[nodiscard]] double steady_speedup() const {
+    return steady_fresh.median_us / steady_planned.median_us;
+  }
+  [[nodiscard]] double churn_speedup() const {
+    return churn_fresh.median_us / churn_planned.median_us;
+  }
+};
+
+bool run_network(const std::string& topology, int samples, NetworkRow& row) {
+  row.name = topology;
+  for (const bool planned : {true, false}) {
+    sim::Experiment exp(fanout_config(topology, planned));
+    const auto boot = exp.run_until_legitimate(sec(600));
+    if (!boot.converged) {
+      std::printf("%-10s bootstrap failed (%s): %s\n", topology.c_str(),
+                  planned ? "planned" : "fresh", boot.last_reason.c_str());
+      return false;
+    }
+    // Settle onto the converged fixed point.
+    for (int i = 0; i < 20; ++i) {
+      exp.sim().run_until(exp.sim().now() + exp.config().task_delay);
+    }
+    // Same churn seed for both configurations: the planned and fresh runs
+    // must flap the same links so the churn speedup compares like workloads.
+    Rng churn_rng(0xfa0007);
+    (planned ? row.steady_planned : row.steady_fresh) =
+        measure_phase(exp, samples, /*churn=*/false, churn_rng);
+    (planned ? row.churn_planned : row.churn_fresh) =
+        measure_phase(exp, samples, /*churn=*/true, churn_rng);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  int samples = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      samples = 60;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      samples = std::atoi(argv[i]);
+      if (samples <= 0) {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--json FILE] [samples>0]\n",
+                     argv[0]);
+        return 2;
+      }
+    }
+  }
+  const double bar = quick ? 1.5 : 3.0;
+
+  bench::print_header(
+      "Line-19 fan-out hot path — planned shared batches vs per-tick rebuild",
+      "one batch build per state change; acceptance: >=3x steady median on "
+      "ATT/EBONE");
+  std::printf("%-8s %-8s %12s %12s %9s %13s %12s\n", "Network", "phase",
+              "planned (us)", "fresh (us)", "speedup", "planned allocs",
+              "fresh allocs");
+
+  bool all_pass = true;
+  scenario::Json rows{scenario::JsonArray{}};
+  for (const std::string topology : {"ATT", "EBONE"}) {
+    NetworkRow row;
+    if (!run_network(topology, samples, row)) {
+      all_pass = false;
+      continue;
+    }
+    std::printf("%-8s %-8s %12.2f %12.2f %8.1fx %13.1f %12.1f\n",
+                topology.c_str(), "steady", row.steady_planned.median_us,
+                row.steady_fresh.median_us, row.steady_speedup(),
+                row.steady_planned.mean_allocs, row.steady_fresh.mean_allocs);
+    std::printf("%-8s %-8s %12.2f %12.2f %8.1fx %13.1f %12.1f\n",
+                topology.c_str(), "churn", row.churn_planned.median_us,
+                row.churn_fresh.median_us, row.churn_speedup(),
+                row.churn_planned.mean_allocs, row.churn_fresh.mean_allocs);
+    if (row.steady_speedup() < bar) all_pass = false;
+
+    scenario::Json rj;
+    rj.set("network", topology);
+    rj.set("steady_planned_us", row.steady_planned.median_us);
+    rj.set("steady_fresh_us", row.steady_fresh.median_us);
+    rj.set("steady_speedup", row.steady_speedup());
+    rj.set("steady_planned_allocs", row.steady_planned.mean_allocs);
+    rj.set("steady_fresh_allocs", row.steady_fresh.mean_allocs);
+    rj.set("churn_planned_us", row.churn_planned.median_us);
+    rj.set("churn_fresh_us", row.churn_fresh.median_us);
+    rj.set("churn_speedup", row.churn_speedup());
+    rj.set("churn_planned_allocs", row.churn_planned.mean_allocs);
+    rj.set("churn_fresh_allocs", row.churn_fresh.mean_allocs);
+    rows.push_back(std::move(rj));
+  }
+
+  if (!json_path.empty()) {
+    scenario::Json doc;
+    doc.set("bench", "fanout");
+    doc.set("mode", quick ? "quick" : "full");
+    doc.set("samples", samples);
+    doc.set("acceptance_speedup", bar);
+    doc.set("pass", all_pass);
+    doc.set("networks", std::move(rows));
+    std::ofstream out(json_path);
+    out << doc.pretty();
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  std::printf("%s\n", all_pass
+                          ? (quick ? "PASS (quick gate >=1.5x; full bar 3x)"
+                                   : "PASS (>=3x steady on all networks)")
+                          : "FAIL (below the speedup bar, see above)");
+  return all_pass ? 0 : 1;
+}

@@ -1,16 +1,25 @@
 // Fig. 5: bootstrap time for the five networks with 3 controllers.
 // Paper shape: time grows with network size/diameter (B4 fastest, EBONE
 // slowest; medians roughly 5..55 s on their testbed).
+//
+// Ported onto the scenario engine: one bootstrap checkpoint swept over the
+// paper topologies by the parallel campaign runner, instead of the
+// bench_common serial loop.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 5 — bootstrap time, 3 controllers",
                       "violin per network; growth with diameter and size");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto s = bench::bootstrap_sample(t.name, 3);
-    bench::print_violin_row(t.name + " (D=" + std::to_string(t.expected_diameter) + ")",
-                            s);
-  }
+
+  scenario::Scenario s;
+  s.name = "fig05_bootstrap";
+  s.description = "bootstrap to the first legitimate state, 3 controllers";
+  bench::paper_axes(s, bench::trials_from_argv(argc, argv));
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_checkpoint_rows(scenario::run_campaign(s, opt), "bootstrap");
   return 0;
 }

@@ -1,13 +1,18 @@
 // Fig. 6: bootstrap time for Telstra (T), AT&T (A) and EBONE (E) with a
 // growing number of controllers (paper: 1..7; more controllers => slightly
 // longer bootstrap).
+//
+// Ported onto the scenario engine: each network column is one campaign with
+// the controller-count axis of the paper, run by the parallel campaign
+// runner instead of the bench_common serial loop.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 6 — bootstrap vs controller count",
                       "T1..T7, A2..A6, E1..E7 columns of the paper");
-  const int runs = 10;  // reduced repetitions; shapes are stable
+  const int trials = bench::trials_from_argv(argc, argv, /*def=*/10);
+
   struct Column {
     const char* net;
     char letter;
@@ -18,11 +23,29 @@ int main() {
       {"ATT", 'A', {2, 4, 6}},
       {"EBONE", 'E', {1, 3, 5, 7}},
   };
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
   for (const auto& col : columns) {
-    for (int nc : col.counts) {
-      const auto s = bench::bootstrap_sample(col.net, nc, runs);
-      bench::print_violin_row(std::string(1, col.letter) + std::to_string(nc),
-                              s);
+    scenario::Scenario s;
+    s.name = "fig06_bootstrap_controllers";
+    s.description = "bootstrap vs controller count";
+    s.topologies = {col.net};
+    s.controllers = col.counts;
+    s.trials = trials;
+    s.base_seed = bench::kBaseSeed;
+    s.expect_converged(sec(0), "bootstrap", sec(300));
+    const auto result = scenario::run_campaign(s, opt);
+    for (const auto& cell : result.cells) {
+      for (const auto& cp : cell.checkpoints) {
+        if (cp.label != "bootstrap") continue;
+        const auto& p = cp.seconds;
+        std::printf("%-14s med=%.2f [p90=%.2f] (min=%.2f max=%.2f) n=%zu "
+                    "converged=%d/%d [s]\n",
+                    (std::string(1, col.letter) +
+                     std::to_string(cell.controllers))
+                        .c_str(),
+                    p.p50, p.p90, p.min, p.max, p.n, cp.converged, cp.trials);
+      }
     }
   }
   return 0;

@@ -15,8 +15,8 @@ Controller::Controller(NodeId id, Config config)
       endpoint_(
           id, transport::Config{},
           transport::Endpoint::Hooks{
-              [this](NodeId peer, proto::Frame f) {
-                route_frame(peer, std::move(f));
+              [this](NodeId peer, proto::PayloadPtr f, std::uint32_t bytes) {
+                route_frame(peer, std::move(f), bytes);
               },
               [this](NodeId peer, proto::MessagePtr m) {
                 if (const auto* reply = std::get_if<proto::QueryReply>(&*m)) {
@@ -31,7 +31,20 @@ Controller::Controller(NodeId id, Config config)
                     this->id())];
               }}),
       compiler_(flows::RuleCompiler::Config{config.kappa}),
-      views_(id) {
+      views_(id),
+      planner_(id,
+               BatchPlanner::Config{config.rule_retention,
+                                    config.memory_adaptive,
+                                    config.paranoid_batches},
+               BatchPlanner::Hooks{
+                   [this](NodeId j) { return rules_for_switch(j); },
+                   [this](NodeId victim) { note_deletion(victim); },
+                   [this](NodeId peer, proto::MessagePtr msg,
+                          std::size_t commands) {
+                     sim_->counters().ctrl_commands_sent[static_cast<
+                         std::size_t>(this->id())] += commands;
+                     endpoint_.submit(peer, std::move(msg));
+                   }}) {
   views_.set_enabled(config_.cache_views);
   views_.set_paranoid(config_.paranoid_views);
   curr_tag_ = tags_.next();
@@ -67,6 +80,17 @@ void Controller::detect_tick() {
 
 void Controller::refresh_views() {
   views_.refresh(db_, curr_tag_, prev_tag_, detector_);
+}
+
+void Controller::prune_transport_sessions(const std::vector<NodeId>& peers) {
+  keep_scratch_.assign(peers.begin(), peers.end());
+  for (const auto& e : sim_->network().adjacency(id())) {
+    keep_scratch_.push_back(e.neighbor);
+  }
+  std::sort(keep_scratch_.begin(), keep_scratch_.end());
+  keep_scratch_.erase(std::unique(keep_scratch_.begin(), keep_scratch_.end()),
+                      keep_scratch_.end());
+  endpoint_.retain_only(keep_scratch_);
 }
 
 void Controller::prune_reply_db() {
@@ -137,6 +161,27 @@ void Controller::run_iteration() {
   if (current_flows_ != prior_flows) ++change_epoch_;
   rebuild_merged_rules(refer.view, refer.transit);
 
+  if (fanout_probe_) fanout_probe_(true);
+  if (config_.plan_batches) {
+    // Lines 14-19 via the batch planner: each per-peer batch is assembled at
+    // most once per input-state change; unchanged batches are resubmitted as
+    // the identical shared payload, round flips rotate in place. The flows
+    // fingerprint + data-flow revision identify rules_for_switch's output
+    // (exactly the key rebuild_merged_rules caches on).
+    planner_.plan_fanout(
+        db_, refer, res_prev, fusion, curr_tag_, new_round,
+        current_flows_ != nullptr ? current_flows_->view_fingerprint : ~0ULL,
+        data_flow_revision_);
+    if (!planner_.last_was_rotation()) {
+      // The recipients changed: re-derive the transport keep-set. On gate
+      // rotations the peer set (and thus the keep-set) is unchanged, so the
+      // prune would be a no-op sweep.
+      prune_transport_sessions(planner_.last_peers());
+    }
+    if (fanout_probe_) fanout_probe_(false);
+    return;
+  }
+
   // Line 19's recipients: every node reachable in G(fusion), sorted. The
   // peer list and the per-peer command vectors are allocation-light: flat
   // vectors reused across ticks instead of a std::set plus a
@@ -205,9 +250,8 @@ void Controller::run_iteration() {
   }
   // Keep transport state bounded: sessions only for current peers and
   // physically attached neighbors.
-  std::set<NodeId> keep(peers_scratch_.begin(), peers_scratch_.end());
-  for (const auto& e : sim_->network().adjacency(id())) keep.insert(e.neighbor);
-  endpoint_.retain_only(keep);
+  prune_transport_sessions(peers_scratch_);
+  if (fanout_probe_) fanout_probe_(false);
 }
 
 void Controller::iterate() {
@@ -376,7 +420,8 @@ void Controller::run_iteration_legacy() {
   }
   std::set<NodeId> keep = peers;
   for (const auto& e : sim_->network().adjacency(id())) keep.insert(e.neighbor);
-  endpoint_.retain_only(keep);
+  const std::vector<NodeId> keep_sorted(keep.begin(), keep.end());
+  endpoint_.retain_only(keep_sorted);
 }
 
 template <typename ReachFn>
@@ -522,9 +567,9 @@ void Controller::on_peer_batch(NodeId from, const proto::CommandBatch& batch) {
   }
 }
 
-void Controller::route_frame(NodeId peer, proto::Frame frame) {
-  net::Packet pkt =
-      net::make_packet(id(), peer, proto::Payload{std::move(frame)});
+void Controller::route_frame(NodeId peer, proto::PayloadPtr frame,
+                             std::uint32_t bytes) {
+  net::Packet pkt = net::make_packet(id(), peer, std::move(frame), bytes);
   auto& counters = sim_->counters();
   counters.control_bytes_sent += pkt.bytes;
   counters.max_control_message_bytes =
@@ -594,8 +639,9 @@ void Controller::corrupt_state(Rng& rng, NodeId node_space) {
   if (rng.chance(0.5)) last_port_.clear();
   merged_fingerprint_ = 0;
   merged_revision_ = ~0ULL;
-  views_.invalidate();  // direct tampering bypasses the revision/epoch keys
-  ++change_epoch_;      // corruption may have touched anything
+  views_.invalidate();    // direct tampering bypasses the revision/epoch keys
+  planner_.invalidate();  // cached batches may describe tampered state
+  ++change_epoch_;        // corruption may have touched anything
 }
 
 }  // namespace ren::core

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "core/batch_planner.hpp"
 #include "core/reply_db.hpp"
 #include "core/view_cache.hpp"
 #include "detect/theta_detector.hpp"
@@ -61,6 +62,15 @@ class Controller : public net::Node {
     /// Differential-test mode: shadow every cached view with a from-scratch
     /// build and throw std::logic_error on divergence (slow; tests/CI only).
     bool paranoid_views = false;
+    /// Plan per-peer command batches once per input-state change and share
+    /// the immutable payloads through the transport (false = rebuild every
+    /// CommandBatch from scratch each tick, the seed behavior; bench
+    /// baseline).
+    bool plan_batches = true;
+    /// Differential-test mode: shadow every planned batch with a
+    /// from-scratch build and throw std::logic_error unless the wire
+    /// encodings are byte-equal (slow; tests/CI only).
+    bool paranoid_batches = false;
   };
 
   Controller(NodeId id, Config config);
@@ -106,6 +116,8 @@ class Controller : public net::Node {
   [[nodiscard]] const transport::Endpoint& endpoint() const { return endpoint_; }
   /// The per-tick view cache (hit/miss/rotation counters for tests/benches).
   [[nodiscard]] const ViewCache& view_cache() const { return views_; }
+  /// The line-19 batch planner (reuse/rotation counters for tests/benches).
+  [[nodiscard]] const BatchPlanner& batch_planner() const { return planner_; }
 
   /// One do-forever body (Algorithm 2, lines 8-19) without the timer
   /// rescheduling or the frozen gate (tests).
@@ -117,6 +129,13 @@ class Controller : public net::Node {
   /// body advances round tags and would perturb the protocol under test).
   void set_iteration_probe(std::function<void(bool begin)> probe) {
     iteration_probe_ = std::move(probe);
+  }
+
+  /// Bench hook bracketing the line-19 fan-out (batch assembly + transport
+  /// submit + session pruning) inside a scheduled iteration; bench_fanout
+  /// times the planned pipeline against Config::plan_batches = false.
+  void set_fanout_probe(std::function<void(bool begin)> probe) {
+    fanout_probe_ = std::move(probe);
   }
 
   /// Monitor-relevant change epoch: bumps when the fused view, the compiled
@@ -149,6 +168,9 @@ class Controller : public net::Node {
 
   /// Synchronize the view cache with the current (replyDB, tags, detector).
   void refresh_views();
+  /// Bound the transport's session state to `peers` plus the physically
+  /// attached neighbors (sorted/deduplicated into keep_scratch_).
+  void prune_transport_sessions(const std::vector<NodeId>& peers);
   void prune_reply_db();
   [[nodiscard]] bool round_complete() const;
 
@@ -167,7 +189,7 @@ class Controller : public net::Node {
 
   void on_reply(proto::QueryReply reply);
   void on_peer_batch(NodeId from, const proto::CommandBatch& batch);
-  void route_frame(NodeId peer, proto::Frame frame);
+  void route_frame(NodeId peer, proto::PayloadPtr frame, std::uint32_t bytes);
 
   Config config_;
   tags::TagGenerator tags_;
@@ -178,13 +200,17 @@ class Controller : public net::Node {
   transport::Endpoint endpoint_;
   flows::RuleCompiler compiler_;
   ViewCache views_;
+  BatchPlanner planner_;
 
   // Reusable command fan-out scratch (line 19): the sorted peer list and one
   // command vector per peer, plus a spill slot for replied switches that are
   // not fusion-reachable this tick. Cleared, never shrunk, between ticks.
+  // (Only the plan_batches=false baseline builds commands here; the planned
+  // path keeps its own scratch inside BatchPlanner.)
   std::vector<NodeId> peers_scratch_;
   std::vector<std::vector<proto::Command>> cmd_scratch_;
   std::vector<proto::Command> cmd_spill_;
+  std::vector<NodeId> keep_scratch_;  ///< sorted retain_only feed
 
   flows::CompiledFlowsPtr current_flows_;    ///< last compiled control flows
   flows::TopoView fusion_view_;              ///< cached G(fusion)
@@ -202,6 +228,7 @@ class Controller : public net::Node {
   ControllerStats stats_;
   std::function<bool(NodeId)> liveness_oracle_;
   std::function<void(bool)> iteration_probe_;
+  std::function<void(bool)> fanout_probe_;
 };
 
 }  // namespace ren::core

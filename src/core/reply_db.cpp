@@ -1,5 +1,7 @@
 #include "core/reply_db.hpp"
 
+#include <algorithm>
+
 namespace ren::core {
 
 bool ReplyDb::make_room(NodeId id) {
@@ -10,6 +12,7 @@ bool ReplyDb::make_room(NodeId id) {
     if (!entries_.empty()) {
       ++revision_;
       ++view_shape_revision_;
+      ++management_revision_;
     }
     entries_.clear();
     insert_order_.clear();
@@ -26,6 +29,7 @@ bool ReplyDb::make_room(NodeId id) {
     insert_order_.erase(victim);
     ++revision_;
     ++view_shape_revision_;
+    ++management_revision_;
   }
   return false;
 }
@@ -36,6 +40,7 @@ void ReplyDb::store(proto::QueryReply reply) {
   if (it == entries_.end()) {
     ++revision_;
     ++view_shape_revision_;
+    ++management_revision_;
     entries_.emplace(id, std::move(reply));
   } else if (!(it->second == reply)) {
     // Only (id, nc, from_controller) shape a topology view; a replace that
@@ -44,6 +49,20 @@ void ReplyDb::store(proto::QueryReply reply) {
     if (it->second.nc != reply.nc ||
         it->second.from_controller != reply.from_controller) {
       ++view_shape_revision_;
+    }
+    // The lines 14-17 preparation reads the manager list and the owner id
+    // sequence; only changes to those (or to the respondent kind) disturb
+    // the batch planner's cached eviction commands.
+    if (it->second.managers != reply.managers ||
+        it->second.from_controller != reply.from_controller ||
+        !std::equal(it->second.rule_owners.begin(),
+                    it->second.rule_owners.end(), reply.rule_owners.begin(),
+                    reply.rule_owners.end(),
+                    [](const proto::RuleOwnerSummary& a,
+                       const proto::RuleOwnerSummary& b) {
+                      return a.cid == b.cid;
+                    })) {
+      ++management_revision_;
     }
     ++revision_;
     it->second = std::move(reply);
@@ -64,6 +83,7 @@ void ReplyDb::erase_if(
       it = entries_.erase(it);
       ++revision_;
       ++view_shape_revision_;
+      ++management_revision_;
     } else {
       ++it;
     }
@@ -74,6 +94,7 @@ void ReplyDb::corrupt(Rng& rng, NodeId node_space) {
   // Corruption may have touched anything.
   ++revision_;
   ++view_shape_revision_;
+  ++management_revision_;
   auto rand_node = [&rng, node_space] {
     return static_cast<NodeId>(
         rng.next_below(static_cast<std::uint64_t>(node_space)));

@@ -45,6 +45,7 @@ class ReplyDb {
     if (!entries_.empty()) {
       ++revision_;
       ++view_shape_revision_;
+      ++management_revision_;
     }
     entries_.clear();
   }
@@ -67,6 +68,16 @@ class ReplyDb {
     return view_shape_revision_;
   }
 
+  /// Management-content revision: bumps on inserts/erases and on replaces
+  /// that change anything the lines 14-17 command preparation reads — the
+  /// manager list, the rule-owner id sequence, or the respondent kind. A
+  /// steady-state re-reply (only round tags and rule counts rolled forward)
+  /// leaves it untouched, which is what lets the batch planner's fan-out
+  /// gate skip re-deriving per-peer eviction commands.
+  [[nodiscard]] std::uint64_t management_revision() const {
+    return management_revision_;
+  }
+
   /// Transient-fault hook: fabricate bogus replies and scramble stored ones.
   void corrupt(Rng& rng, NodeId node_space);
 
@@ -78,6 +89,7 @@ class ReplyDb {
   std::uint64_t c_resets_ = 0;
   std::uint64_t revision_ = 0;
   std::uint64_t view_shape_revision_ = 0;
+  std::uint64_t management_revision_ = 0;
 };
 
 }  // namespace ren::core

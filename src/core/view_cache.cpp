@@ -1,6 +1,7 @@
 #include "core/view_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,6 +18,8 @@ void ResView::finalize(NodeId self) {
   flat.assign(view);
   reach.clear();
   flat.reachable_from(self, reach);
+  static std::atomic<std::uint64_t> next_build_id{0};
+  build_id = ++next_build_id;
 }
 
 // --- From-scratch builders ----------------------------------------------------

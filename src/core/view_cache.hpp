@@ -65,6 +65,11 @@ struct ResView {
   Coverage coverage = Coverage::Partial;
   std::uint64_t shape_revision = 0;  ///< ReplyDb::view_shape_revision() at build
   std::uint64_t liveness_epoch = 0;  ///< detector epoch at build
+  /// Process-unique content stamp assigned by finalize(): slot rotations and
+  /// aliasing move it with the content, so equal build_ids mean "the exact
+  /// same materialized view" (what lets the batch planner O(1)-compare the
+  /// views feeding a fan-out instead of deep-comparing reach/reply sets).
+  std::uint64_t build_id = 0;
 
   /// O(1): was `n` reachable from the owning controller when this view was
   /// built? (Membership in `reach`.)

@@ -1,28 +1,52 @@
 #include "net/event_queue.hpp"
 
-#include <stdexcept>
+#include <algorithm>
 #include <utility>
 
 namespace ren::net {
 
+void EventQueue::push(Event&& ev) {
+  if (ev.at < now_) ev.at = now_;  // clamp: never schedule in the past
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::schedule_at(Time at, Action action) {
-  if (at < now_) at = now_;  // clamp: never schedule in the past
-  heap_.push(Event{at, next_seq_++, std::move(action)});
+  Event ev;
+  ev.at = at;
+  ev.seq = next_seq_++;
+  ev.action = std::move(action);
+  push(std::move(ev));
+}
+
+void EventQueue::schedule_packet(Time at, NodeId from, NodeId to, int link,
+                                 Packet packet) {
+  Event ev;
+  ev.at = at;
+  ev.seq = next_seq_++;
+  ev.packet = std::move(packet);
+  ev.from = from;
+  ev.to = to;
+  ev.link = link;
+  push(std::move(ev));
 }
 
 Time EventQueue::next_time() const {
-  return heap_.empty() ? kTimeNever : heap_.top().at;
+  return heap_.empty() ? kTimeNever : heap_.front().at;
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the action handle (std::function copy) and pop.
-  Event ev = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.at;
   ++executed_;
-  ev.action();
+  if (ev.action) {
+    ev.action();
+  } else {
+    packet_handler_(ev.from, ev.to, ev.link, ev.packet);
+  }
   return true;
 }
 

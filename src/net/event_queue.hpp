@@ -3,13 +3,20 @@
 // Events fire in (time, insertion order) — ties broken by a monotonically
 // increasing sequence number so that runs are bit-for-bit reproducible,
 // which the self-stabilization experiments rely on.
+//
+// Two event classes share one heap: general closures (timers, scheduled
+// actions) and packet deliveries. Packet deliveries are the dominant class
+// by far, and a std::function closure would cost a heap allocation plus a
+// payload copy per hop; instead they are stored inline (the Packet payload
+// is a shared immutable pointer, so moving an event moves two pointers) and
+// dispatched through one handler installed by the simulator.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "util/types.hpp"
 
 namespace ren::net {
@@ -17,9 +24,21 @@ namespace ren::net {
 class EventQueue {
  public:
   using Action = std::function<void()>;
+  /// Installed once by the simulator; receives every packet event.
+  using PacketHandler =
+      std::function<void(NodeId from, NodeId to, int link, Packet& packet)>;
+
+  void set_packet_handler(PacketHandler handler) {
+    packet_handler_ = std::move(handler);
+  }
 
   /// Schedule `action` at absolute time `at` (must be >= now()).
   void schedule_at(Time at, Action action);
+
+  /// Allocation-free fast path: deliver `packet` (from -> to over `link`)
+  /// at time `at` via the installed packet handler.
+  void schedule_packet(Time at, NodeId from, NodeId to, int link,
+                       Packet packet);
 
   /// True when no events remain.
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -41,7 +60,11 @@ class EventQueue {
   struct Event {
     Time at;
     std::uint64_t seq;
-    Action action;
+    Action action;  ///< general event; empty for packet events
+    Packet packet;  ///< packet event payload (action empty)
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    int link = -1;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -50,7 +73,13 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push(Event&& ev);
+
+  // A std::push_heap/pop_heap heap rather than std::priority_queue: the
+  // queue's top() is const, which would force a copy of the event (and its
+  // closure) per step; pop_heap lets the event be moved out.
+  std::vector<Event> heap_;
+  PacketHandler packet_handler_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -31,4 +31,28 @@ inline Packet make_packet(NodeId src, NodeId dst, proto::Payload payload) {
   return p;
 }
 
+/// Zero-copy variant: wrap an already-shared immutable payload (e.g. the
+/// transport's cached act frame) without re-allocating it per packet.
+inline Packet make_packet(NodeId src, NodeId dst, proto::PayloadPtr payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.bytes = static_cast<std::uint32_t>(proto::wire_size(*payload));
+  p.payload = std::move(payload);
+  return p;
+}
+
+/// Zero-copy variant with a precomputed wire size (the transport caches the
+/// size of its act frame alongside the frame itself, so the hot submit path
+/// never re-walks the message).
+inline Packet make_packet(NodeId src, NodeId dst, proto::PayloadPtr payload,
+                          std::uint32_t bytes) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.bytes = bytes;
+  p.payload = std::move(payload);
+  return p;
+}
+
 }  // namespace ren::net

@@ -90,24 +90,32 @@ void Simulator::send(NodeId from, NodeId to, Packet packet) {
   }
 
   const int link_index = link->index();
-  auto deliver = [this, from, to, link_index, packet](Time at) {
-    events_.schedule_at(at, [this, from, to, link_index, packet]() {
-      // In-flight packets on a permanently removed link are lost.
-      if (network_.link(link_index).state() == LinkState::PermanentDown) {
-        ++counters_.drops_link_down;
-        return;
-      }
-      Node& receiver = node(to);
-      if (!receiver.alive()) {
-        ++counters_.drops_dead_node;
-        return;
-      }
-      ++counters_.packets_delivered;
-      receiver.on_packet(from, packet);
-    });
-  };
-  deliver(plan.deliver_at);
-  if (plan.duplicated) deliver(plan.duplicate_at);
+  if (plan.duplicated) {
+    // Keep the original event order (delivery enqueued before the
+    // duplicate) so tie-breaking by sequence number is unchanged.
+    events_.schedule_packet(plan.deliver_at, from, to, link_index, packet);
+    events_.schedule_packet(plan.duplicate_at, from, to, link_index,
+                            std::move(packet));
+  } else {
+    events_.schedule_packet(plan.deliver_at, from, to, link_index,
+                            std::move(packet));
+  }
+}
+
+void Simulator::deliver_packet(NodeId from, NodeId to, int link,
+                               Packet& packet) {
+  // In-flight packets on a permanently removed link are lost.
+  if (network_.link(link).state() == LinkState::PermanentDown) {
+    ++counters_.drops_link_down;
+    return;
+  }
+  Node& receiver = node(to);
+  if (!receiver.alive()) {
+    ++counters_.drops_dead_node;
+    return;
+  }
+  ++counters_.packets_delivered;
+  receiver.on_packet(from, packet);
 }
 
 }  // namespace ren::net

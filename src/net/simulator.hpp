@@ -50,7 +50,12 @@ struct Counters {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {
+    events_.set_packet_handler(
+        [this](NodeId from, NodeId to, int link, Packet& packet) {
+          deliver_packet(from, to, link, packet);
+        });
+  }
 
   // --- time & events --------------------------------------------------------
   [[nodiscard]] Time now() const { return events_.now(); }
@@ -124,6 +129,10 @@ class Simulator {
   void send(NodeId from, NodeId to, Packet packet);
 
  private:
+  /// Packet-event endpoint: link/liveness checks at delivery time, then
+  /// Node::on_packet (the deferred half of send()).
+  void deliver_packet(NodeId from, NodeId to, int link, Packet& packet);
+
   EventQueue events_;
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -86,6 +87,60 @@ struct QueryReply {
 };
 
 using Message = std::variant<CommandBatch, QueryReply>;
+using MessagePtr = std::shared_ptr<const Message>;
+
+inline MessagePtr make_message(Message&& m) {
+  return std::make_shared<const Message>(std::move(m));
+}
+
+// --- Outbound batch fingerprint (zero-copy fan-out) -------------------------
+
+/// Content fingerprint of an outbound CommandBatch. Two batches from the
+/// same controller with equal keys encode to identical wire bytes, so
+/// successive-batch equality is an O(victims) tag/pointer compare instead of
+/// a deep command-list compare: `rules` is the *identity* of the
+/// UpdateRuleCmd payload (rule lists are immutable and shared, so pointer
+/// equality implies content equality) and `victims` digests the
+/// manager/rule-eviction delta in command order.
+struct BatchKey {
+  Tag tag;                      ///< round tag of newRound/updateRule/query
+  int retention = 2;
+  bool query_only = false;      ///< controller-class batch: newRound + query
+  RuleListPtr rules;            ///< updateRule payload (switch classes)
+  std::vector<NodeId> victims;  ///< delMngr+delAllRules targets, ascending
+
+  friend bool operator==(const BatchKey&, const BatchKey&) = default;
+
+  /// Equal up to the round tag — the batch-planner rotation fast path.
+  [[nodiscard]] bool same_except_tag(const BatchKey& o) const {
+    return retention == o.retention && query_only == o.query_only &&
+           rules == o.rules && victims == o.victims;
+  }
+
+  /// Commands in the batch this key describes (Fig. 9 accounting):
+  /// newRound [+ victim pairs + addMngr + updateRule] + query.
+  [[nodiscard]] std::size_t command_count() const {
+    return query_only ? 2 : 4 + 2 * victims.size();
+  }
+};
+
+/// Materialize the command batch a key describes (Algorithm 2, line 19).
+inline Message build_batch(NodeId from, const BatchKey& k) {
+  CommandBatch b;
+  b.from = from;
+  b.commands.reserve(k.command_count());
+  b.commands.push_back(NewRoundCmd{k.tag, k.retention});
+  if (!k.query_only) {
+    for (NodeId v : k.victims) {
+      b.commands.push_back(DelMngrCmd{v});
+      b.commands.push_back(DelAllRulesCmd{v});
+    }
+    b.commands.push_back(AddMngrCmd{from});
+    b.commands.push_back(UpdateRuleCmd{k.rules, k.tag});
+  }
+  b.commands.push_back(QueryCmd{k.tag});
+  return Message{std::move(b)};
+}
 
 // --- Wire-size accounting (Lemma 3) ----------------------------------------
 
@@ -118,6 +173,99 @@ inline std::size_t wire_size(const Message& m) {
   return std::visit([](const auto& v) { return wire_size(v); }, m);
 }
 
-using MessagePtr = std::shared_ptr<const Message>;
+// --- Canonical debug encoding ----------------------------------------------
+//
+// A deterministic byte rendering of a message, including the full rule
+// bytes. Not a real wire format: it exists so differential modes (e.g.
+// Config::paranoid_batches) can assert that two independently constructed
+// messages are byte-equal without hand-writing field-by-field comparisons.
+
+namespace detail {
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void put_id(std::string& out, NodeId v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+inline void put_tag(std::string& out, const Tag& t) {
+  put_id(out, t.owner);
+  put_u64(out, t.epoch);
+}
+}  // namespace detail
+
+inline void debug_encode(const Command& c, std::string& out) {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, NewRoundCmd>) {
+          out.push_back(1);
+          detail::put_tag(out, v.tag);
+          detail::put_u64(out, static_cast<std::uint64_t>(v.retention));
+        } else if constexpr (std::is_same_v<T, DelMngrCmd>) {
+          out.push_back(2);
+          detail::put_id(out, v.k);
+        } else if constexpr (std::is_same_v<T, AddMngrCmd>) {
+          out.push_back(3);
+          detail::put_id(out, v.k);
+        } else if constexpr (std::is_same_v<T, DelAllRulesCmd>) {
+          out.push_back(4);
+          detail::put_id(out, v.k);
+        } else if constexpr (std::is_same_v<T, UpdateRuleCmd>) {
+          out.push_back(5);
+          detail::put_tag(out, v.tag);
+          detail::put_u64(out, v.rules ? v.rules->size() : 0);
+          if (v.rules) {
+            for (const Rule& r : *v.rules) {
+              detail::put_id(out, r.cid);
+              detail::put_id(out, r.sid);
+              detail::put_id(out, r.src);
+              detail::put_id(out, r.dest);
+              detail::put_u64(out, static_cast<std::uint64_t>(r.prt));
+              detail::put_id(out, r.fwd);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, QueryCmd>) {
+          out.push_back(6);
+          detail::put_tag(out, v.tag);
+        }
+      },
+      c);
+}
+
+inline void debug_encode(const Message& m, std::string& out) {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, CommandBatch>) {
+          out.push_back('B');
+          detail::put_id(out, v.from);
+          detail::put_u64(out, v.commands.size());
+          for (const Command& c : v.commands) debug_encode(c, out);
+        } else {
+          out.push_back('R');
+          detail::put_id(out, v.id);
+          detail::put_u64(out, v.nc.size());
+          for (NodeId n : v.nc) detail::put_id(out, n);
+          detail::put_u64(out, v.managers.size());
+          for (NodeId n : v.managers) detail::put_id(out, n);
+          detail::put_u64(out, v.rule_owners.size());
+          for (const RuleOwnerSummary& s : v.rule_owners) {
+            detail::put_id(out, s.cid);
+            detail::put_tag(out, s.tag);
+            detail::put_u64(out, s.count);
+          }
+          detail::put_u64(out, v.rules_wire_bytes);
+          detail::put_tag(out, v.tag_for_querier);
+          out.push_back(v.from_controller ? 1 : 0);
+        }
+      },
+      m);
+}
+
+[[nodiscard]] inline std::string debug_encode(const Message& m) {
+  std::string out;
+  debug_encode(m, out);
+  return out;
+}
 
 }  // namespace ren::proto

@@ -88,6 +88,21 @@ Scenario partition_and_heal() {
   return s;
 }
 
+/// A denser storm than flapping_links, written with periodic events: one
+/// fail_links and one restore_links entry each repeat six times instead of
+/// unrolling twelve timeline entries by hand.
+Scenario link_flap_storm() {
+  Scenario s;
+  s.name = "link_flap_storm";
+  s.description =
+      "periodic two-link flaps (every(4s) x6 fail/restore pair), then settle";
+  s.expect_converged(sec(0), "bootstrap", sec(120));
+  s.fail_links(sec(5), 2).every(sec(4), 6);
+  s.restore_links(sec(7)).every(sec(4), 6);
+  s.expect_converged(sec(31), "settle", sec(180));
+  return s;
+}
+
 /// A TCP flow runs across the fabric while a controller dies and a link on
 /// or off the path fails; measures both re-convergence and the goodput the
 /// flow kept through the failover.
@@ -107,13 +122,15 @@ Scenario failover_under_load() {
 
 std::vector<std::string> builtin_names() {
   return {"rolling_restart",        "flapping_links",
-          "cascading_switch_failures", "corruption_under_churn",
-          "partition_and_heal",     "failover_under_load"};
+          "link_flap_storm",        "cascading_switch_failures",
+          "corruption_under_churn", "partition_and_heal",
+          "failover_under_load"};
 }
 
 Scenario builtin(const std::string& name) {
   if (name == "rolling_restart") return rolling_restart();
   if (name == "flapping_links") return flapping_links();
+  if (name == "link_flap_storm") return link_flap_storm();
   if (name == "cascading_switch_failures") return cascading_switch_failures();
   if (name == "corruption_under_churn") return corruption_under_churn();
   if (name == "partition_and_heal") return partition_and_heal();

@@ -82,13 +82,14 @@ class TrialExecutor {
     cfg.with_hosts = s.needs_hosts();
     cfg.monitor_paranoid = opt.paranoid_monitor;
     cfg.views_paranoid = opt.paranoid_views;
+    cfg.batches_paranoid = opt.paranoid_batches;
     exp_ = std::make_unique<sim::Experiment>(std::move(cfg));
     cp_ = exp_->control_plane();
   }
 
   TrialOutcome run() {
     TrialOutcome out;
-    for (const Event& ev : scenario_.sorted_events()) {
+    for (const Event& ev : scenario_.expanded_events()) {
       if (exp_->sim().now() < ev.at) exp_->sim().run_until(ev.at);
       apply(ev, out);
     }

@@ -35,6 +35,10 @@ struct RunnerOptions {
   /// Differential-test mode: every controller shadows its cached res/fusion
   /// views with from-scratch builds and fails the trial on divergence.
   bool paranoid_views = false;
+  /// Differential-test mode: every controller shadows each planned outbound
+  /// batch with a from-scratch build and fails the trial unless the wire
+  /// encodings are byte-equal.
+  bool paranoid_batches = false;
   /// Attach raw per-trial samples to each cell (and its JSON) instead of
   /// only the percentile aggregates.
   bool include_raw = false;

@@ -102,11 +102,42 @@ Scenario& Scenario::start_traffic(Time at) {
   return *this;
 }
 
+Scenario& Scenario::every(Time period, int times) {
+  if (events.empty())
+    throw std::logic_error("Scenario::every: no event to make periodic");
+  if (period <= 0 || times < 1)
+    throw std::invalid_argument(
+        "Scenario::every: period must be positive and times >= 1");
+  events.back().every = period;
+  events.back().repeat = times;
+  return *this;
+}
+
 std::vector<Event> Scenario::sorted_events() const {
   std::vector<Event> sorted = events;
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Event& a, const Event& b) { return a.at < b.at; });
   return sorted;
+}
+
+std::vector<Event> Scenario::expanded_events() const {
+  std::vector<Event> expanded;
+  for (const Event& e : events) {
+    const int times = e.every > 0 ? std::max(e.repeat, 1) : 1;
+    for (int k = 0; k < times; ++k) {
+      Event occ = e;
+      occ.at = e.at + static_cast<Time>(k) * e.every;
+      occ.every = 0;
+      occ.repeat = 1;
+      if (k > 0 && e.kind == EventKind::ExpectConverged) {
+        occ.label = e.label + "_" + std::to_string(k);
+      }
+      expanded.push_back(std::move(occ));
+    }
+  }
+  std::stable_sort(expanded.begin(), expanded.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  return expanded;
 }
 
 bool Scenario::needs_hosts() const {
@@ -168,6 +199,10 @@ Json to_spec_json(const Scenario& s) {
       default:
         break;
     }
+    if (e.every > 0) {
+      ev.set("every_ms", e.every / 1000);
+      ev.set("repeat", e.repeat);
+    }
     events.push_back(std::move(ev));
   }
   doc.set("events", std::move(events));
@@ -211,9 +246,10 @@ Scenario parse_spec_json(const Json& doc) {
   s.with_hosts = doc.bool_or("with_hosts", false);
   if (const Json* evs = doc.find("events")) {
     for (const Json& ej : evs->as_array()) {
-      reject_unknown_keys(
-          ej, {"at_ms", "kind", "count", "keep_connected", "label", "limit_ms"},
-          "event");
+      reject_unknown_keys(ej,
+                          {"at_ms", "kind", "count", "keep_connected", "label",
+                           "limit_ms", "every_ms", "repeat"},
+                          "event");
       Event e;
       e.at = msec(static_cast<std::int64_t>(ej.number_or("at_ms", 0)));
       e.kind = event_kind_from_string(ej.string_or("kind", ""));
@@ -222,6 +258,17 @@ Scenario parse_spec_json(const Json& doc) {
       e.limit =
           msec(static_cast<std::int64_t>(ej.number_or("limit_ms", 120'000)));
       e.label = ej.string_or("label", "");
+      e.every = msec(static_cast<std::int64_t>(ej.number_or("every_ms", 0)));
+      e.repeat = static_cast<int>(ej.number_or("repeat", 1));
+      // Periodicity needs both halves: "every_ms" without "repeat" would
+      // silently degenerate to a one-shot, so reject either half alone.
+      if (e.every < 0 || (e.every > 0 && e.repeat < 1) ||
+          ((ej.find("every_ms") != nullptr) !=
+           (ej.find("repeat") != nullptr)))
+        throw std::runtime_error(
+            "spec: periodic events need both \"every_ms\" (> 0) and "
+            "\"repeat\" (>= 1)");
+      if (e.every == 0) e.repeat = 1;
       if (e.kind == EventKind::StartTraffic) s.with_hosts = true;
       s.events.push_back(std::move(e));
     }

@@ -39,6 +39,12 @@ struct Event {
   bool keep_connected = true;  ///< FailLinks: honor the paper's assumption
   Time limit = sec(120);       ///< ExpectConverged wait bound
   std::string label;           ///< ExpectConverged checkpoint name
+  /// Periodic repetition ("every_ms" in the JSON spec): when `every` > 0 the
+  /// event fires `repeat` times at `at`, `at`+every, ... — flap storms no
+  /// longer unroll their timelines. ExpectConverged occurrences after the
+  /// first get a "_k" label suffix so checkpoints stay distinguishable.
+  Time every = 0;
+  int repeat = 1;
 
   bool operator==(const Event&) const = default;
 };
@@ -70,10 +76,18 @@ struct Scenario {
   Scenario& freeze(Time at);
   Scenario& unfreeze(Time at);
   Scenario& start_traffic(Time at);
+  /// Make the most recently added event periodic: `times` total occurrences
+  /// spaced `period` apart. Throws std::logic_error without a prior event,
+  /// std::invalid_argument on a non-positive period/count.
+  Scenario& every(Time period, int times);
 
   /// Events ordered by time; ties keep declaration order (stable), which is
   /// how e.g. restart_nodes + expect_converged at the same instant compose.
   [[nodiscard]] std::vector<Event> sorted_events() const;
+
+  /// sorted_events() with periodic entries expanded into their concrete
+  /// occurrences — what the trial executor interprets.
+  [[nodiscard]] std::vector<Event> expanded_events() const;
 
   [[nodiscard]] bool needs_hosts() const;
 };

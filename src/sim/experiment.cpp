@@ -50,6 +50,8 @@ void Experiment::build() {
   c_cfg.rule_retention = config_.rule_retention;
   c_cfg.cache_views = config_.cache_views;
   c_cfg.paranoid_views = config_.views_paranoid;
+  c_cfg.plan_batches = config_.plan_batches;
+  c_cfg.paranoid_batches = config_.batches_paranoid;
   for (int k = 0; k < n_controllers; ++k) {
     controllers_.push_back(&sim_.emplace_node<core::Controller>(
         static_cast<NodeId>(n_switches + k), c_cfg));

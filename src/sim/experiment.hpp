@@ -54,6 +54,12 @@ struct ExperimentConfig {
   /// Differential-test mode: shadow every cached controller view with a
   /// from-scratch build and throw on divergence (slow; tests/CI only).
   bool views_paranoid = false;
+  /// Per-peer batch planning + shared immutable payloads (PR 4); false =
+  /// rebuild every outbound CommandBatch from scratch per tick (baseline).
+  bool plan_batches = true;
+  /// Differential-test mode: shadow every planned batch with a from-scratch
+  /// build and throw unless byte-equal (slow; tests/CI only).
+  bool batches_paranoid = false;
   std::size_t max_rules = 1u << 20;
   std::size_t max_replies = 0;        ///< 0 = auto: 2(N_C+N_S)+4
   std::size_t max_managers = 64;

@@ -14,14 +14,11 @@ AbstractSwitch::AbstractSwitch(NodeId id, Config config)
       endpoint_(
           id, transport::Config{},
           transport::Endpoint::Hooks{
-              [this](NodeId peer, proto::Frame f) {
-                route_frame(peer, std::move(f));
+              [this](NodeId peer, proto::PayloadPtr f, std::uint32_t bytes) {
+                route_frame(peer, std::move(f), bytes);
               },
               [this](NodeId peer, proto::MessagePtr m) {
-                if (const auto* batch = std::get_if<proto::CommandBatch>(&*m)) {
-                  handle_batch(peer, *batch);
-                }
-                // Switches never consume query replies.
+                apply_batch(peer, m);  // replies are never consumed here
               },
               [this](NodeId) {
                 ++sim_->counters().ctrl_messages_sent[static_cast<std::size_t>(
@@ -97,9 +94,9 @@ void AbstractSwitch::forward_packet(const net::Packet& packet) {
   ++sim_->counters().drops_no_rule;
 }
 
-void AbstractSwitch::route_frame(NodeId peer, proto::Frame frame) {
-  net::Packet pkt =
-      net::make_packet(id(), peer, proto::Payload{std::move(frame)});
+void AbstractSwitch::route_frame(NodeId peer, proto::PayloadPtr frame,
+                                 std::uint32_t bytes) {
+  net::Packet pkt = net::make_packet(id(), peer, std::move(frame), bytes);
   auto& counters = sim_->counters();
   counters.control_bytes_sent += pkt.bytes;
   counters.max_control_message_bytes =
@@ -128,8 +125,10 @@ void AbstractSwitch::route_frame(NodeId peer, proto::Frame frame) {
   ++sim_->counters().drops_no_rule;
 }
 
-void AbstractSwitch::handle_batch(NodeId from, const proto::CommandBatch& batch) {
-  for (const proto::Command& cmd : batch.commands) {
+void AbstractSwitch::apply_batch(NodeId from, const proto::MessagePtr& message) {
+  const auto* batch = std::get_if<proto::CommandBatch>(&*message);
+  if (batch == nullptr) return;
+  for (const proto::Command& cmd : batch->commands) {
     std::visit(
         [&](const auto& c) {
           using T = std::decay_t<decltype(c)>;

@@ -77,14 +77,17 @@ class AbstractSwitch : public net::Node {
  private:
   void control_tick();
   void detect_tick();
-  void handle_batch(NodeId from, const proto::CommandBatch& batch);
+  /// Apply a delivered command batch. The payload is shared and immutable:
+  /// commands are consumed in place and rule lists flow into the rule table
+  /// by pointer, never copied.
+  void apply_batch(NodeId from, const proto::MessagePtr& message);
   void add_manager(NodeId k);
   void del_manager(NodeId k);
   /// Forward a transit packet using the rule table (fast-failover order),
   /// falling back to direct hand-over when the destination is adjacent.
   void forward_packet(const net::Packet& packet);
-  /// Route a locally originated frame toward `peer`.
-  void route_frame(NodeId peer, proto::Frame frame);
+  /// Route a locally originated frame payload toward `peer`.
+  void route_frame(NodeId peer, proto::PayloadPtr frame, std::uint32_t bytes);
 
   Config config_;
   RuleTable rules_;

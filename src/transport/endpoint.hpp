@@ -14,11 +14,21 @@
 // one is in flight replaces the *next* message. This bounds memory (a
 // self-stabilization requirement) and matches Renaissance's semantics, where
 // every command batch/query reply supersedes the previous one.
+//
+// Zero-copy payloads: messages enter and leave as shared immutable
+// proto::MessagePtr; the Act frame payload (a proto::Payload holding the
+// Frame) is built once per (label, message) and reused verbatim by every
+// retransmission, so a steady retransmit allocates nothing. Resubmitting the
+// *identical* message pointer (the batch planner's reuse path) refreshes the
+// supersede slot without a new label or allocation: the frame already in
+// flight carries exactly that payload, and receiver-side label
+// de-duplication stays intact because acknowledgments always flow, so a
+// content change always reaches a fresh label eventually.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <set>
+#include <span>
 #include <unordered_map>
 
 #include "proto/payload.hpp"
@@ -42,20 +52,36 @@ struct Config {
 class Endpoint {
  public:
   struct Hooks {
-    /// Route and transmit one raw frame toward `peer` (in-band!).
-    std::function<void(NodeId peer, proto::Frame frame)> send_frame;
+    /// Route and transmit one raw frame payload toward `peer` (in-band!).
+    /// The payload always holds a proto::Frame; retransmissions of the same
+    /// act frame hand over the same immutable payload object. `bytes` is
+    /// the payload's wire size, computed once per frame refresh so routing
+    /// layers never re-walk the message for sizing.
+    std::function<void(NodeId peer, proto::PayloadPtr frame,
+                       std::uint32_t bytes)>
+        send_frame;
     /// Upcall with a delivered application message.
     std::function<void(NodeId peer, proto::MessagePtr message)> deliver;
-    /// Invoked once per *new* outbound message (not per retransmission);
-    /// feeds the Fig. 9 communication-overhead accounting.
+    /// Invoked once per *new* outbound message — including an idempotent
+    /// resubmit of the identical payload pointer, which is a logical send
+    /// even though no new frame state is created — but not per
+    /// retransmission; feeds the Fig. 9 communication-overhead accounting.
     std::function<void(NodeId peer)> on_new_message;
   };
 
   Endpoint(NodeId self, Config config, Hooks hooks);
 
-  /// Queue `message` for reliable delivery to `peer`, superseding any
-  /// not-yet-started message to the same peer.
-  void submit(NodeId peer, proto::Message message);
+  /// Queue the shared immutable `message` for reliable delivery to `peer`,
+  /// superseding any not-yet-started message to the same peer. Under the
+  /// default supersede configuration, resubmitting the pointer that is
+  /// already in flight (or already queued) refreshes that slot in place:
+  /// no new label, no allocation. Stop-and-wait mode queues it like any
+  /// other submission so both configurations mirror the seed's accounting.
+  void submit(NodeId peer, proto::MessagePtr message);
+  /// Convenience overload for freshly built one-off messages.
+  void submit(NodeId peer, proto::Message message) {
+    submit(peer, proto::make_message(std::move(message)));
+  }
 
   /// Handle an incoming frame that originated at `peer`.
   void on_frame(NodeId peer, const proto::Frame& frame);
@@ -63,9 +89,11 @@ class Endpoint {
   /// Retransmit all unacknowledged Act frames (call on the node's timer).
   void tick();
 
-  /// Drop session state for peers outside `keep` (bounds memory while the
-  /// reachable set shrinks); the algorithm re-creates sessions on demand.
-  void retain_only(const std::set<NodeId>& keep);
+  /// Drop session state for peers outside `keep_sorted` (bounds memory while
+  /// the reachable set shrinks); the algorithm re-creates sessions on
+  /// demand. `keep_sorted` must be sorted ascending — the hot path hands in
+  /// its already-sorted peer scratch instead of materializing a std::set.
+  void retain_only(std::span<const NodeId> keep_sorted);
 
   [[nodiscard]] bool idle(NodeId peer) const;
   [[nodiscard]] std::size_t session_count() const {
@@ -108,13 +136,20 @@ class Endpoint {
     std::uint32_t label = 0;
     proto::MessagePtr inflight;  ///< current Act payload awaiting Ack
     proto::MessagePtr next;      ///< superseding message, if any
+    /// The Act frame payload for (label, inflight), built once and reused by
+    /// every retransmission. Non-const so a uniquely-owned buffer can be
+    /// refilled in place when the label advances.
+    std::shared_ptr<proto::Payload> act_frame;
+    std::uint32_t act_bytes = 0;  ///< wire size of act_frame, cached
   };
   struct RecvSession {
     std::uint32_t last_label = 0;
     bool delivered_any = false;
+    std::shared_ptr<proto::Payload> ack_frame;  ///< reused Ack payload buffer
   };
 
   void begin_transmission(NodeId peer, SendSession& s, proto::MessagePtr msg);
+  void refresh_act_frame(SendSession& s);
   void transmit(NodeId peer, const SendSession& s);
 
   NodeId self_;

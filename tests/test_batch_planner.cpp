@@ -1,0 +1,194 @@
+// The line-19 batch planner must be observationally equivalent to building
+// every per-peer CommandBatch from scratch each tick — under randomized
+// fault storms, across rotations/reuse/sharing, and through the built-in
+// scenario timelines with Config::paranoid_batches live. The differential
+// reference inside BatchPlanner::check_paranoid is written against the
+// seed's original std::set fan-out and compares canonical byte encodings.
+#include <gtest/gtest.h>
+
+#include "core/batch_planner.hpp"
+#include "test_helpers.hpp"
+
+namespace ren::core {
+namespace {
+
+using ren::testing::bootstrap_or_fail;
+using ren::testing::fast_config;
+
+sim::ExperimentConfig paranoid_batches_config(const std::string& topology,
+                                              int controllers,
+                                              std::uint64_t seed = 1) {
+  auto cfg = fast_config(topology, controllers, /*kappa=*/2, seed);
+  cfg.batches_paranoid = true;
+  return cfg;
+}
+
+TEST(BatchKey, EqualityAndRotationClasses) {
+  const auto rules = std::make_shared<const proto::RuleList>();
+  proto::BatchKey a;
+  a.tag = proto::Tag{1, 7};
+  a.retention = 3;
+  a.rules = rules;
+  a.victims = {4, 9};
+  proto::BatchKey b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.same_except_tag(b));
+  b.tag = proto::Tag{1, 8};
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.same_except_tag(b));  // the rotation fast path
+  b.rules = std::make_shared<const proto::RuleList>(*rules);
+  EXPECT_FALSE(a.same_except_tag(b));  // same bytes, different identity
+  EXPECT_EQ(a.command_count(), 4u + 2u * 2u);
+  proto::BatchKey q;
+  q.query_only = true;
+  EXPECT_EQ(q.command_count(), 2u);
+}
+
+TEST(BatchKey, BuildBatchMatchesKeyShape) {
+  proto::BatchKey k;
+  k.tag = proto::Tag{2, 5};
+  k.retention = 2;
+  k.victims = {3};
+  k.rules = std::make_shared<const proto::RuleList>();
+  const proto::Message m = proto::build_batch(7, k);
+  const auto& b = std::get<proto::CommandBatch>(m);
+  EXPECT_EQ(b.from, 7);
+  ASSERT_EQ(b.commands.size(), k.command_count());
+  EXPECT_TRUE(std::holds_alternative<proto::NewRoundCmd>(b.commands.front()));
+  EXPECT_TRUE(std::holds_alternative<proto::QueryCmd>(b.commands.back()));
+}
+
+TEST(BatchPlannerParanoid, BootstrapAgrees) {
+  sim::Experiment exp(paranoid_batches_config("B4", 3));
+  bootstrap_or_fail(exp);
+  // Every fan-out on the way up ran the from-scratch differential.
+  EXPECT_GT(exp.controller(0).batch_planner().stats().paranoid_checks, 0u);
+}
+
+TEST(BatchPlannerParanoid, SteadyStateRotatesWithoutRebuilding) {
+  sim::Experiment exp(fast_config("B4", 3));
+  bootstrap_or_fail(exp);
+  for (int i = 0; i < 10; ++i) {
+    exp.sim().run_until(exp.sim().now() + msec(50));
+  }
+  const auto before = exp.controller(0).batch_planner().stats();
+  for (int i = 0; i < 20; ++i) {
+    exp.sim().run_until(exp.sim().now() + msec(50));
+  }
+  const auto after = exp.controller(0).batch_planner().stats();
+  // Converged rounds flip the tag every tick, but tag churn alone must
+  // never rebuild a batch: every planned batch is a reuse, a rotation, or a
+  // shared alias of one (the clone of a still-referenced shared message).
+  EXPECT_EQ(after.rebuilt, before.rebuilt);
+  EXPECT_GT(after.planned, before.planned);
+  EXPECT_GT(after.rotated + after.reused + after.shared + after.cloned,
+            before.rotated + before.reused + before.shared + before.cloned);
+  // And the fan-out *gate* carries the steady state: no input moved, so the
+  // whole fan-out is served as a rotation without a single key re-derived.
+  EXPECT_EQ(after.full_plans, before.full_plans);
+  EXPECT_GT(after.gate_rotations, before.gate_rotations);
+}
+
+TEST(BatchPlannerParanoid, GateReopensOnChurnAndStaysCorrect) {
+  // Fault churn must force full re-plans (the gate is input-keyed), and the
+  // live differential guarantees the rotation ticks in between were exact.
+  auto cfg = paranoid_batches_config("B4", 3, /*seed=*/11);
+  sim::Experiment exp(cfg);
+  bootstrap_or_fail(exp);
+  const auto before = exp.controller(0).batch_planner().stats();
+  auto cp = exp.control_plane();
+  Rng rng(0x9a7e);
+  faults::fail_random_links(cp, rng, 2, /*keep_connected=*/true);
+  for (int i = 0; i < 40; ++i) {
+    exp.sim().run_until(exp.sim().now() + msec(25));
+  }
+  faults::restore_all_links(cp);
+  const auto r = exp.run_until_legitimate(sec(60));
+  ASSERT_TRUE(r.converged) << r.last_reason;
+  const auto after = exp.controller(0).batch_planner().stats();
+  EXPECT_GT(after.full_plans, before.full_plans);
+  EXPECT_GT(after.paranoid_checks, before.paranoid_checks);
+}
+
+TEST(BatchPlannerParanoid, FaultStormAgrees) {
+  sim::Experiment exp(paranoid_batches_config("Clos", 3, /*seed=*/7));
+  bootstrap_or_fail(exp);
+  auto cp = exp.control_plane();
+  Rng storm(0xba7c4b47ULL);
+  for (int round = 0; round < 6; ++round) {
+    switch (storm.next_below(5)) {
+      case 0:
+        faults::kill_random_controllers(cp, storm, 1);
+        break;
+      case 1:
+        faults::kill_random_switches(cp, storm, 1);
+        break;
+      case 2:
+        faults::fail_random_links(cp, storm, 2, /*keep_connected=*/true);
+        break;
+      case 3:
+        faults::corrupt_all_state(cp, storm);
+        break;
+      case 4:
+        faults::restart_all_nodes(cp);
+        faults::restore_all_links(cp);
+        break;
+    }
+    // A planner divergence throws std::logic_error out of the controller's
+    // do-forever task and would abort the run here.
+    for (int i = 0; i < 40; ++i) {
+      exp.sim().run_until(exp.sim().now() + msec(25));
+    }
+  }
+  faults::restart_all_nodes(cp);
+  faults::restore_all_links(cp);
+  const auto r = exp.run_until_legitimate(sec(120));
+  EXPECT_TRUE(r.converged) << r.last_reason;
+}
+
+TEST(BatchPlannerParanoid, ScenarioTimelinesPass) {
+  // Every built-in fault timeline with the batch differential live on every
+  // controller tick (acceptance criterion).
+  scenario::RunnerOptions opt;
+  opt.threads = 1;
+  opt.paranoid_batches = true;
+  for (const auto& name : scenario::builtin_names()) {
+    scenario::Scenario s = scenario::builtin(name);
+    s.topologies = {"B4"};
+    s.controllers = {3};
+    s.trials = 1;
+    const auto out = scenario::run_trial(s, "B4", 3, /*trial=*/0, opt);
+    EXPECT_TRUE(out.ok) << name << ": " << out.error;
+  }
+}
+
+TEST(BatchPlanner, DisabledModeStillConverges) {
+  auto cfg = fast_config("B4", 3);
+  cfg.plan_batches = false;  // the seed's rebuild-every-tick baseline
+  sim::Experiment exp(cfg);
+  bootstrap_or_fail(exp);
+  EXPECT_EQ(exp.controller(0).batch_planner().stats().planned, 0u);
+}
+
+TEST(BatchPlanner, FigNineAccountingMatchesTheBaseline) {
+  // Planned and baseline fan-out must agree on the logical send accounting:
+  // same per-controller command and message counts for the same seeded
+  // bootstrap (what keeps bench_fig09 unchanged by default).
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    std::vector<std::uint64_t> commands[2], messages[2];
+    for (const bool planned : {false, true}) {
+      auto cfg = fast_config("B4", 3, /*kappa=*/2, seed);
+      cfg.plan_batches = planned;
+      sim::Experiment exp(cfg);
+      const auto r = exp.run_until_legitimate(sec(60));
+      ASSERT_TRUE(r.converged) << r.last_reason;
+      commands[planned] = r.commands;
+      messages[planned] = r.messages;
+    }
+    EXPECT_EQ(commands[0], commands[1]) << "seed " << seed;
+    EXPECT_EQ(messages[0], messages[1]) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ren::core

@@ -100,6 +100,72 @@ TEST(ScenarioSpec, RejectsSeedsBeyondDoublePrecision) {
   EXPECT_EQ(scenario::parse_spec(R"({"seed":123})").base_seed, 123u);
 }
 
+TEST(ScenarioSpec, PeriodicEventsExpand) {
+  Scenario s;
+  s.fail_links(sec(5), 2).every(sec(4), 3);
+  s.restore_links(sec(7)).every(sec(4), 3);
+  s.expect_converged(sec(20), "settle");
+  const auto expanded = s.expanded_events();
+  ASSERT_EQ(expanded.size(), 7u);
+  std::vector<Time> at;
+  for (const auto& e : expanded) at.push_back(e.at);
+  EXPECT_EQ(at, (std::vector<Time>{sec(5), sec(7), sec(9), sec(11), sec(13),
+                                   sec(15), sec(20)}));
+  // Expanded occurrences are concrete: no residual periodicity.
+  for (const auto& e : expanded) {
+    EXPECT_EQ(e.every, 0);
+    EXPECT_EQ(e.repeat, 1);
+  }
+  // Occurrences keep the original event's parameters.
+  EXPECT_EQ(expanded[2].kind, scenario::EventKind::FailLinks);
+  EXPECT_EQ(expanded[2].count, 2);
+}
+
+TEST(ScenarioSpec, PeriodicCheckpointsGetDistinctLabels) {
+  Scenario s;
+  s.expect_converged(sec(1), "probe", sec(30)).every(sec(2), 3);
+  const auto expanded = s.expanded_events();
+  ASSERT_EQ(expanded.size(), 3u);
+  EXPECT_EQ(expanded[0].label, "probe");
+  EXPECT_EQ(expanded[1].label, "probe_1");
+  EXPECT_EQ(expanded[2].label, "probe_2");
+}
+
+TEST(ScenarioSpec, PeriodicEventsSurviveRoundTrip) {
+  Scenario s;
+  s.name = "periodic";
+  s.fail_links(sec(5), 1).every(sec(3), 4);
+  s.expect_converged(sec(20), "settle");
+  const Scenario reparsed =
+      scenario::parse_spec(scenario::to_spec_json(s).dump());
+  EXPECT_EQ(s, reparsed);
+  EXPECT_EQ(reparsed.expanded_events().size(), 5u);
+}
+
+TEST(ScenarioSpec, PeriodicEventValidation) {
+  Scenario empty;
+  EXPECT_THROW(empty.every(sec(1), 2), std::logic_error);
+  Scenario s;
+  s.fail_links(sec(1), 1);
+  EXPECT_THROW(s.every(0, 2), std::invalid_argument);
+  EXPECT_THROW(s.every(sec(1), 0), std::invalid_argument);
+  // Either half of a periodic spec alone is an error, not a silent one-shot.
+  EXPECT_THROW(scenario::parse_spec(
+                   R"({"events":[{"kind":"fail_links","repeat":3}]})"),
+               std::runtime_error);
+  EXPECT_THROW(scenario::parse_spec(
+                   R"({"events":[{"kind":"fail_links","every_ms":4000}]})"),
+               std::runtime_error);
+}
+
+TEST(ScenarioSpec, LinkFlapStormUsesPeriodicEvents) {
+  const Scenario s = scenario::builtin("link_flap_storm");
+  bool has_periodic = false;
+  for (const auto& e : s.events) has_periodic |= e.every > 0;
+  EXPECT_TRUE(has_periodic);
+  EXPECT_GT(s.expanded_events().size(), s.events.size());
+}
+
 TEST(ScenarioSpec, SortedEventsIsStableOnTies) {
   Scenario s;
   s.restart_nodes(sec(5));

@@ -51,6 +51,9 @@ void usage(std::FILE* to) {
                "                         legitimacy monitor every sample (slow)\n"
                "  --paranoid-views       differential-check every controller's\n"
                "                         cached res/fusion views per tick (slow)\n"
+               "  --paranoid-batches     differential-check every planned\n"
+               "                         outbound batch against a from-scratch\n"
+               "                         build (byte-equal encodings; slow)\n"
                "  --paper-timers         paper Section 6.3 timers instead of fast\n"
                "  --out FILE             write the JSON report here (default stdout)\n"
                "  --verbose              enable Info-level simulation logging\n");
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool have_seed = false, paper_timers = false, print_spec = false;
   bool include_raw = false, paranoid = false, paranoid_views = false;
+  bool paranoid_batches = false;
   bool merge_mode = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -155,6 +159,8 @@ int main(int argc, char** argv) {
       paranoid = true;
     } else if (arg == "--paranoid-views") {
       paranoid_views = true;
+    } else if (arg == "--paranoid-batches") {
+      paranoid_batches = true;
     } else if (arg == "--paper-timers") {
       paper_timers = true;
     } else if (arg == "--out") {
@@ -179,7 +185,8 @@ int main(int argc, char** argv) {
     // silently producing a report the flags had no effect on.
     if (print_spec || !topologies_csv.empty() || !controllers_csv.empty() ||
         trials > 0 || have_seed || threads != 0 || shard_count != 1 ||
-        include_raw || paranoid || paranoid_views || paper_timers) {
+        include_raw || paranoid || paranoid_views || paranoid_batches ||
+        paper_timers) {
       std::fprintf(stderr,
                    "--merge takes only shard files and --out; campaign "
                    "options have no effect on a merge\n");
@@ -255,6 +262,7 @@ int main(int argc, char** argv) {
     opt.include_raw = include_raw;
     opt.paranoid_monitor = paranoid;
     opt.paranoid_views = paranoid_views;
+    opt.paranoid_batches = paranoid_batches;
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = scenario::run_campaign(s, opt);
     const auto elapsed =
