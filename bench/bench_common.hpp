@@ -9,6 +9,7 @@
 // detection, which Theta * 500 ms would not give).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -41,58 +42,6 @@ inline sim::ExperimentConfig paper_config(const std::string& topology,
   return cfg;
 }
 
-/// Bootstrap-time sample over `runs` seeded repetitions (seconds).
-inline Sample bootstrap_sample(const std::string& topology, int controllers,
-                               int runs = kRuns, Time limit = sec(300)) {
-  Sample s;
-  for (int r = 0; r < runs; ++r) {
-    sim::Experiment exp(
-        paper_config(topology, controllers, kBaseSeed + static_cast<std::uint64_t>(r)));
-    const auto res = exp.run_until_legitimate(limit);
-    s.add(res.converged ? res.seconds : to_seconds(limit));
-  }
-  return s;
-}
-
-/// Recovery-time sample: bootstrap, apply `inject`, measure re-legitimacy.
-/// `inject` returns false to skip a run (e.g. no candidate fault).
-inline Sample recovery_sample(
-    const std::string& topology, int controllers,
-    const std::function<bool(sim::Experiment&)>& inject, int runs = kRuns,
-    Time limit = sec(300)) {
-  Sample s;
-  for (int r = 0; r < runs; ++r) {
-    sim::Experiment exp(
-        paper_config(topology, controllers, kBaseSeed + static_cast<std::uint64_t>(r)));
-    const auto boot = exp.run_until_legitimate(limit);
-    if (!boot.converged) continue;
-    if (!inject(exp)) continue;
-    const auto rec = exp.run_until_legitimate(limit);
-    s.add(rec.converged ? rec.seconds : to_seconds(limit));
-  }
-  return s;
-}
-
-/// The Section 6.4.3 throughput experiment for one network. Link latency is
-/// calibrated per network so the host-to-host RTT lands near 16 ms, which
-/// with a 1 MiB receive window gives the paper's ~525 Mbit/s steady state
-/// on 1000 Mbit/s links.
-inline sim::Experiment::ThroughputResult throughput_run(
-    const std::string& topology, bool with_recovery,
-    std::uint64_t seed = kBaseSeed) {
-  auto cfg = paper_config(topology, 3, seed);
-  cfg.with_hosts = true;
-  const int diameter = topo::by_name(topology).expected_diameter;
-  cfg.link_latency = 16'000 / (2 * (diameter + 2));
-  sim::Experiment exp(cfg);
-  sim::Experiment::ThroughputRun run;
-  run.duration = sec(30);
-  run.fail_at = sec(10);
-  run.with_recovery = with_recovery;
-  run.tcp.rwnd = 1u << 20;
-  return exp.run_throughput(run);
-}
-
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("================================================================\n");
   std::printf("%s\n", title);
@@ -118,18 +67,37 @@ inline void print_series(const std::string& label,
 }
 
 // --- Scenario-engine ports ---------------------------------------------------
+//
+// Every figure harness is a declarative Scenario executed by the parallel
+// campaign runner (scenario::run_campaign); the helpers below only build
+// scenarios and render campaign reports. There are deliberately no serial
+// sweep loops here anymore.
 
 /// Trial count from argv[1] (default `def`); exits with a usage error on
-/// anything that is not a positive integer.
-inline int trials_from_argv(int argc, char** argv, int def = kRuns) {
-  if (argc <= 1) return def;
-  char* end = nullptr;
-  const long v = std::strtol(argv[1], &end, 10);
-  if (end == argv[1] || *end != '\0' || v <= 0) {
-    std::fprintf(stderr, "usage: %s [trials>0]\n", argv[0]);
-    std::exit(2);
+/// anything that is not a positive integer. "--quick" (any position) is
+/// reported via *quick for harnesses with a CI smoke mode and implies one
+/// trial unless a count is also given.
+inline int trials_from_argv(int argc, char** argv, int def = kRuns,
+                            bool* quick = nullptr) {
+  int trials = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" && quick != nullptr) {
+      *quick = true;
+      continue;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0' || v <= 0) {
+      std::fprintf(stderr, "usage: %s [trials>0]%s\n", argv[0],
+                   quick != nullptr ? " [--quick]" : "");
+      std::exit(2);
+    }
+    trials = static_cast<int>(v);
   }
-  return static_cast<int>(v);
+  if (trials > 0) return trials;
+  if (quick != nullptr && *quick) return 1;
+  return def;
 }
 
 /// The paper's evaluation axes for a figure-port scenario: all five Table 8
@@ -140,6 +108,88 @@ inline void paper_axes(scenario::Scenario& s, int trials) {
   s.controllers = {3};
   s.trials = trials;
   s.base_seed = kBaseSeed;
+}
+
+/// The Section 6.4.3 throughput campaign (Figs. 15-20): the built-in
+/// `throughput_window` timeline over the five paper topologies. The
+/// no-recovery variant (Fig. 16) freezes the controllers at the failure
+/// instant, *before* the fail_path_link event (declaration order breaks the
+/// timestamp tie), so only pre-installed backup paths carry traffic
+/// afterwards.
+inline scenario::Scenario throughput_scenario(bool with_recovery, int trials) {
+  scenario::Scenario s = scenario::builtin("throughput_window");
+  const std::uint64_t keep_seed = s.base_seed;
+  paper_axes(s, trials);
+  s.base_seed = keep_seed;
+  if (!with_recovery) {
+    s.name = "fig16_throughput_norecovery";
+    for (std::size_t i = 0; i < s.events.size(); ++i) {
+      if (s.events[i].kind != scenario::EventKind::FailPathLink) continue;
+      scenario::Event freeze;
+      freeze.at = s.events[i].at;
+      freeze.kind = scenario::EventKind::Freeze;
+      s.events.insert(s.events.begin() + static_cast<std::ptrdiff_t>(i),
+                      freeze);
+      break;
+    }
+  } else {
+    s.name = "fig15_throughput";
+  }
+  return s;
+}
+
+/// The named traffic-window aggregate of a cell, nullptr when absent (e.g.
+/// the trial errored before the window opened).
+inline const scenario::CellResult::WindowAgg* find_window(
+    const scenario::CellResult& cell, const std::string& label) {
+  for (const auto& w : cell.windows) {
+    if (w.label == label) return &w;
+  }
+  return nullptr;
+}
+
+/// Run a throughput campaign and print one per-second series per network,
+/// selected by `pick` (Figs. 15/16/18/19/20 share this shape).
+inline void print_throughput_series(
+    const scenario::CampaignResult& result,
+    const std::function<const std::vector<double>&(
+        const scenario::CellResult::WindowAgg&)>& pick,
+    int precision = 0) {
+  for (const auto& cell : result.cells) {
+    const auto* w = find_window(cell, "window");
+    if (w == nullptr || w->trials == 0) {
+      std::printf("%-14s (experiment did not converge)\n",
+                  cell.topology.c_str());
+      continue;
+    }
+    const int diameter = topo::by_name(cell.topology).expected_diameter;
+    print_series(cell.topology + " (D=" + std::to_string(diameter) + ")",
+                 pick(*w), precision);
+  }
+}
+
+/// Per-trial seconds of the named checkpoint from a --raw cell. Trials
+/// whose `require_converged` checkpoint did not converge are skipped —
+/// the guard the old serial recovery loops applied (a recovery measured
+/// on a never-legitimate network would skew the figure).
+inline Sample checkpoint_sample(const scenario::CellResult& cell,
+                                const std::string& label,
+                                const char* require_converged = "bootstrap") {
+  Sample s;
+  for (const auto& [r, out] : cell.raw) {
+    (void)r;
+    bool eligible = require_converged == nullptr;
+    if (!eligible) {
+      for (const auto& cp : out.checkpoints) {
+        if (cp.label == require_converged && cp.converged) eligible = true;
+      }
+    }
+    if (!eligible) continue;
+    for (const auto& cp : out.checkpoints) {
+      if (cp.label == label) s.add(cp.seconds);
+    }
+  }
+  return s;
 }
 
 /// One row per topology for the named checkpoint of a campaign result.

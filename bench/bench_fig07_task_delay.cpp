@@ -4,48 +4,55 @@
 // with the delay, until very small delays overwhelm the network (rightmost
 // congestion peaks, rising earlier for the larger networks).
 //
-// Simulation-cost note: at the smallest delays the non-converging runs
-// generate enormous event counts, so each run additionally carries an
-// event budget; exhausting either budget reports the cap (that *is* the
-// congestion peak the paper plots).
+// Ported onto the scenario engine: the delay sweep is a generic
+// `task_delay_ms` axis (which also rescales the discovery interval at the
+// profile's 5:1 ratio) crossed with the topology grid by the parallel
+// campaign runner. Simulation-cost note: at the smallest delays the
+// non-converging runs generate enormous event counts, so the scenario
+// carries an event budget (`max_events`); exhausting either budget reports
+// the cap (that *is* the congestion peak the paper plots).
+//
+// `--quick` (CI smoke): B4 only, two delays, one trial.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
+  bool quick = false;
+  const int trials = bench::trials_from_argv(argc, argv, 2, &quick);
   bench::print_header("Fig. 7 — bootstrap vs task delay, 7 controllers",
                       "per-network average bootstrap over the delay sweep");
-  const double delays_s[] = {1.0, 0.7, 0.5, 0.3, 0.1, 0.06, 0.02, 0.005};
-  const int runs = 2;
-  const Time limit = sec(30);  // cap == reported congestion ceiling
-  const std::uint64_t event_budget = 8'000'000;
+  const std::vector<double> delays_ms =
+      quick ? std::vector<double>{500, 100}
+            : std::vector<double>{1000, 700, 500, 300, 100, 60, 20, 5};
+
+  scenario::Scenario s;
+  s.name = "fig07_task_delay";
+  s.description = "bootstrap time as a function of the task delay";
+  bench::paper_axes(s, trials);
+  if (quick) s.topologies = {"B4"};
+  s.controllers = {7};
+  s.axis("task_delay_ms", delays_ms);
+  s.max_events = 8'000'000;
+  s.expect_converged(sec(0), "bootstrap", sec(30));
+
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  const auto result = scenario::run_campaign(s, opt);
 
   std::printf("%-14s", "delay(s)");
-  for (double d : delays_s) std::printf(" %7.3f", d);
+  for (double d : delays_ms) std::printf(" %7.3f", d / 1000.0);
   std::printf("\n");
-  for (const auto& t : topo::paper_topologies()) {
-    std::printf("%-14s", t.name.c_str());
-    for (double d : delays_s) {
-      Sample s;
-      for (int r = 0; r < runs; ++r) {
-        auto cfg = bench::paper_config(
-            t.name, 7, bench::kBaseSeed + static_cast<std::uint64_t>(r));
-        cfg.task_delay = static_cast<Time>(d * 1e6);
-        cfg.detect_interval = std::max<Time>(msec(5), cfg.task_delay / 5);
-        sim::Experiment exp(cfg);
-        bool converged = false;
-        const Time t0 = exp.sim().now();
-        while (exp.sim().now() - t0 < limit &&
-               exp.sim().events_executed() < event_budget) {
-          exp.sim().run_until(exp.sim().now() + cfg.monitor_interval);
-          if (exp.monitor().check().legitimate) {
-            converged = true;
-            break;
-          }
-        }
-        s.add(converged ? to_seconds(exp.sim().now() - t0) : to_seconds(limit));
+  for (const auto& t : s.topologies) {
+    std::printf("%-14s", t.c_str());
+    for (double d : delays_ms) {
+      for (const auto& cell : result.cells) {
+        if (cell.topology != t ||
+            cell.axes != scenario::AxisPoint{{"task_delay_ms", d}})
+          continue;
+        std::printf(" %7.2f", cell.checkpoints.empty()
+                                  ? 0.0
+                                  : cell.checkpoints.front().seconds.mean);
       }
-      std::printf(" %7.2f", s.mean());
-      std::fflush(stdout);
     }
     std::printf("\n");
   }

@@ -1,25 +1,40 @@
 // Fig. 11: recovery time after 1..6 simultaneous controller fail-stops on
 // Telstra/AT&T/EBONE running 7 controllers. Paper observation: the number
 // of failed controllers does not correlate with the recovery time.
+//
+// Ported onto the scenario engine: one two-checkpoint campaign per
+// (network, kill count) — the victim count is an event parameter, not a
+// config axis — with the trials run in parallel by the campaign runner.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
+  const int trials = bench::trials_from_argv(argc, argv, 10);
   bench::print_header("Fig. 11 — recovery after k controller fail-stops",
                       "T1..T6, A1..A6, E1..E6 of the paper");
-  const int runs = 10;
   for (const char* net : {"Telstra", "ATT", "EBONE"}) {
     for (int kills : {1, 2, 3, 4, 5, 6}) {
-      const auto s = bench::recovery_sample(
-          net, 7,
-          [kills](sim::Experiment& exp) {
-            auto cp = exp.control_plane();
-            return static_cast<int>(
-                       faults::kill_random_controllers(cp, exp.fault_rng(), kills)
-                           .size()) == kills;
-          },
-          runs);
-      bench::print_violin_row(std::string(1, net[0]) + std::to_string(kills), s);
+      scenario::Scenario s;
+      s.name = "fig11_multi_controller_failstop";
+      s.description = "recovery after simultaneous controller fail-stops";
+      bench::paper_axes(s, trials);
+      s.topologies = {net};
+      s.controllers = {7};
+      s.expect_converged(sec(0), "bootstrap", sec(300));
+      s.kill_controller(sec(150), kills);
+      s.expect_converged(sec(150), "recovery", sec(300));
+
+      scenario::RunnerOptions opt;
+      opt.paper_timers = true;
+      opt.include_raw = true;
+      const auto result = scenario::run_campaign(s, opt);
+      Sample sample;
+      for (const auto& cell : result.cells) {
+        const Sample cs = bench::checkpoint_sample(cell, "recovery");
+        for (double v : cs.values()) sample.add(v);
+      }
+      bench::print_violin_row(std::string(1, net[0]) + std::to_string(kills),
+                              sample);
     }
   }
   return 0;

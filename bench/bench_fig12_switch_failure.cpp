@@ -1,19 +1,31 @@
 // Fig. 12: recovery time after one permanent switch failure (chosen so the
 // remaining network stays connected). Paper shape: O(D) medians with large
 // variance (the victim is random).
+//
+// Ported onto the scenario engine: a two-checkpoint scenario (bootstrap,
+// kill one switch, recovery) swept over the paper topologies by the
+// parallel campaign runner.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 12 — recovery after a switch fail-stop",
                       "longest recoveries grow with the network diameter");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto s = bench::recovery_sample(
-        t.name, 3, [](sim::Experiment& exp) {
-          auto cp = exp.control_plane();
-          return faults::kill_random_switch(cp, exp.fault_rng()) != kNoNode;
-        });
-    bench::print_violin_row(t.name, s);
+
+  scenario::Scenario s;
+  s.name = "fig12_switch_failure";
+  s.description = "recovery after one connectivity-preserving switch kill";
+  bench::paper_axes(s, bench::trials_from_argv(argc, argv));
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+  s.kill_switches(sec(150), 1);
+  s.expect_converged(sec(150), "recovery", sec(300));
+
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  opt.include_raw = true;
+  for (const auto& cell : scenario::run_campaign(s, opt).cells) {
+    bench::print_violin_row(cell.topology,
+                            bench::checkpoint_sample(cell, "recovery"));
   }
   return 0;
 }

@@ -1,25 +1,39 @@
 // Fig. 14: recovery time after 2/4/6 simultaneous permanent link failures.
 // Paper observation: the number of simultaneous failures plays no
 // significant role in the recovery time.
+//
+// Ported onto the scenario engine: one two-checkpoint campaign per failure
+// count (the count is an event parameter), each swept over the paper
+// topologies by the parallel campaign runner.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
+  const int trials = bench::trials_from_argv(argc, argv, 10);
   bench::print_header("Fig. 14 — recovery after multiple link failures",
                       "B2..E6 columns of the paper");
-  const int runs = 10;
   for (const auto& t : topo::paper_topologies()) {
     for (int count : {2, 4, 6}) {
-      const auto s = bench::recovery_sample(
-          t.name, 3,
-          [count](sim::Experiment& exp) {
-            auto cp = exp.control_plane();
-            return !faults::fail_random_links(cp, exp.fault_rng(), count)
-                        .empty();
-          },
-          runs);
-      bench::print_violin_row(std::string(1, t.name[0]) + std::to_string(count),
-                              s);
+      scenario::Scenario s;
+      s.name = "fig14_multi_link_failures";
+      s.description = "recovery after simultaneous permanent link failures";
+      bench::paper_axes(s, trials);
+      s.topologies = {t.name};
+      s.expect_converged(sec(0), "bootstrap", sec(300));
+      s.fail_links(sec(150), count);
+      s.expect_converged(sec(150), "recovery", sec(300));
+
+      scenario::RunnerOptions opt;
+      opt.paper_timers = true;
+      opt.include_raw = true;
+      const auto result = scenario::run_campaign(s, opt);
+      Sample sample;
+      for (const auto& cell : result.cells) {
+        const Sample cs = bench::checkpoint_sample(cell, "recovery");
+        for (double v : cs.values()) sample.add(v);
+      }
+      bench::print_violin_row(
+          std::string(1, t.name[0]) + std::to_string(count), sample);
     }
   }
   return 0;

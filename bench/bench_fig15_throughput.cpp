@@ -2,20 +2,24 @@
 // 10th second, *with* recovery (consistent updates with tags). Paper
 // shape: a steady plateau (~525 Mbit/s), one valley at the failure
 // (~480-510 on their testbed), then a slightly lower post-failover plateau.
+//
+// Ported onto the scenario engine: the built-in `throughput_window`
+// timeline (bracketed traffic window + fail_path_link + stop_traffic) run
+// over the paper topologies by the campaign runner; the window's per-second
+// goodput series comes straight out of the campaign report.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 15 — throughput with recovery (Mbit/s per second)",
                       "single link failure at t=10s; tag-based updates");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto r = bench::throughput_run(t.name, /*with_recovery=*/true);
-    if (!r.ok) {
-      std::printf("%-14s (experiment did not converge)\n", t.name.c_str());
-      continue;
-    }
-    bench::print_series(t.name + " (D=" + std::to_string(t.expected_diameter) + ")",
-                        r.mbits);
-  }
+  const auto s = bench::throughput_scenario(
+      /*with_recovery=*/true, bench::trials_from_argv(argc, argv, 1));
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_throughput_series(
+      scenario::run_campaign(s, opt),
+      [](const scenario::CellResult::WindowAgg& w)
+          -> const std::vector<double>& { return w.mbits_series; });
   return 0;
 }

@@ -2,21 +2,23 @@
 // controllers are frozen at the failure instant, so only the pre-installed
 // backup paths carry traffic afterwards. Paper observation: the series is
 // nearly identical to Fig. 15 (correlation 0.92-0.96).
+//
+// Ported onto the scenario engine: the Fig. 15 timeline plus a freeze event
+// right before the fail_path_link (timestamp ties keep declaration order).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header(
       "Fig. 16 — throughput without recovery (Mbit/s per second)",
       "backup paths only after the failure at t=10s");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto r = bench::throughput_run(t.name, /*with_recovery=*/false);
-    if (!r.ok) {
-      std::printf("%-14s (experiment did not converge)\n", t.name.c_str());
-      continue;
-    }
-    bench::print_series(t.name + " (D=" + std::to_string(t.expected_diameter) + ")",
-                        r.mbits);
-  }
+  const auto s = bench::throughput_scenario(
+      /*with_recovery=*/false, bench::trials_from_argv(argc, argv, 1));
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_throughput_series(
+      scenario::run_campaign(s, opt),
+      [](const scenario::CellResult::WindowAgg& w)
+          -> const std::vector<double>& { return w.mbits_series; });
   return 0;
 }

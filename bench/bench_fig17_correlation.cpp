@@ -1,20 +1,37 @@
 // Fig. 17: Pearson correlation between the with-recovery (Fig. 15) and
 // no-recovery (Fig. 16) throughput series. Paper values: 0.92-0.96.
+//
+// Ported onto the scenario engine: both campaigns run through the runner
+// (shared seeds — trial seeds depend only on the grid), then the cells'
+// window series are correlated per network.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 17 — correlation of Fig. 15 vs Fig. 16 series",
                       "paper reports 0.92-0.96 per network");
+  const int trials = bench::trials_from_argv(argc, argv, 1);
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  const auto with_rec =
+      scenario::run_campaign(bench::throughput_scenario(true, trials), opt);
+  const auto no_rec =
+      scenario::run_campaign(bench::throughput_scenario(false, trials), opt);
+
   std::printf("%-10s %12s\n", "Network", "Correlation");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto a = bench::throughput_run(t.name, true);
-    const auto b = bench::throughput_run(t.name, false);
-    if (!a.ok || !b.ok) {
-      std::printf("%-10s %12s\n", t.name.c_str(), "n/a");
+  for (std::size_t c = 0;
+       c < with_rec.cells.size() && c < no_rec.cells.size(); ++c) {
+    const auto& cell = with_rec.cells[c];
+    const auto* a = bench::find_window(cell, "window");
+    const auto* b = bench::find_window(no_rec.cells[c], "window");
+    if (a == nullptr || b == nullptr ||
+        a->mbits_series.size() != b->mbits_series.size() ||
+        a->mbits_series.empty()) {
+      std::printf("%-10s %12s\n", cell.topology.c_str(), "n/a");
       continue;
     }
-    std::printf("%-10s %12.2f\n", t.name.c_str(), pearson(a.mbits, b.mbits));
+    std::printf("%-10s %12.2f\n", cell.topology.c_str(),
+                pearson(a->mbits_series, b->mbits_series));
   }
   return 0;
 }

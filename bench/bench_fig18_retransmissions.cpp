@@ -1,16 +1,23 @@
 // Fig. 18: percentage of retransmitted packets per second around the link
 // failure. Paper shape: near-zero everywhere, one spike right after the
 // failure (10-15% on their testbed) that de-escalates within a second.
+//
+// Ported onto the scenario engine: the Fig. 15 campaign's traffic window
+// also records the retransmission series.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 18 — retransmission percentage per second",
                       "spike at the failure second, then back to ~0");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto r = bench::throughput_run(t.name, true);
-    if (!r.ok) continue;
-    bench::print_series(t.name, r.retx_pct, 1);
-  }
+  const auto s = bench::throughput_scenario(
+      /*with_recovery=*/true, bench::trials_from_argv(argc, argv, 1));
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_throughput_series(
+      scenario::run_campaign(s, opt),
+      [](const scenario::CellResult::WindowAgg& w)
+          -> const std::vector<double>& { return w.retx_pct; },
+      /*precision=*/1);
   return 0;
 }

@@ -1,16 +1,23 @@
 // Fig. 19: percentage of "BAD TCP" flags per second (retransmissions +
 // duplicate acks + spurious retransmissions, Wireshark-style). Paper
 // shape: one spike right after the failure, then back to near zero.
+//
+// Ported onto the scenario engine: the Fig. 15 campaign's traffic window
+// also records the BAD-TCP series.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 19 — BAD TCP percentage per second",
                       "retx + dup-acks + spurious, spiking at the failure");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto r = bench::throughput_run(t.name, true);
-    if (!r.ok) continue;
-    bench::print_series(t.name, r.bad_pct, 1);
-  }
+  const auto s = bench::throughput_scenario(
+      /*with_recovery=*/true, bench::trials_from_argv(argc, argv, 1));
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_throughput_series(
+      scenario::run_campaign(s, opt),
+      [](const scenario::CellResult::WindowAgg& w)
+          -> const std::vector<double>& { return w.bad_pct; },
+      /*precision=*/1);
   return 0;
 }

@@ -1,15 +1,22 @@
 // Fig. 20: percentage of out-of-order packets per second. Paper shape: a
 // small spike (<= ~3%) at the failure second as traffic shifts paths.
+//
+// Ported onto the scenario engine: the Fig. 15 campaign's traffic window
+// also records the out-of-order series.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ren;
   bench::print_header("Fig. 20 — out-of-order percentage per second",
                       "small spike at the failure second");
-  for (const auto& t : topo::paper_topologies()) {
-    const auto r = bench::throughput_run(t.name, true);
-    if (!r.ok) continue;
-    bench::print_series(t.name, r.ooo_pct, 1);
-  }
+  const auto s = bench::throughput_scenario(
+      /*with_recovery=*/true, bench::trials_from_argv(argc, argv, 1));
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  bench::print_throughput_series(
+      scenario::run_campaign(s, opt),
+      [](const scenario::CellResult::WindowAgg& w)
+          -> const std::vector<double>& { return w.ooo_pct; },
+      /*precision=*/1);
   return 0;
 }

@@ -3,8 +3,9 @@
 //
 //   ./example_scenario_campaign
 //
-// The same scenario expressed as a JSON spec (see README) can be run with
-// `ren_scenarios --spec`; `--print-spec` on any built-in shows the format.
+// The same scenario expressed as a JSON spec (see docs/scenarios.md) can be
+// run with `ren_scenarios --spec`; `--print-spec` on any built-in shows the
+// format.
 #include <cstdio>
 
 #include "renaissance.hpp"
@@ -18,6 +19,7 @@ int main() {
   s.topologies = {"B4", "Clos"};
   s.controllers = {3, 5};
   s.trials = 4;
+  s.axis("kappa", {1, 2});  // generic config axis, crossed with the grid
   s.expect_converged(sec(0), "bootstrap")
       .fail_links(sec(5), 2)
       .kill_controller(sec(5))

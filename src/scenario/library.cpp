@@ -103,6 +103,26 @@ Scenario link_flap_storm() {
   return s;
 }
 
+/// The Section 6.4.3 throughput experiment as a declarative timeline
+/// (Figs. 15/16 shape): a bracketed traffic window with a mid-path link
+/// failure at its 10th second, on RTT-calibrated links. The campaign
+/// report's traffic_windows carry the per-second goodput/retransmission
+/// series the figures plot.
+Scenario throughput_window() {
+  Scenario s;
+  s.name = "throughput_window";
+  s.description =
+      "30s traffic window, mid-path link failure at its 10th second "
+      "(fig15 shape; freeze before the failure for fig16)";
+  s.calibrate_rtt = true;
+  s.trials = 1;  // the paper plots single series per network
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+  s.start_traffic(sec(150), "window");
+  s.fail_path_link(sec(160), msec(150));
+  s.stop_traffic(sec(180));
+  return s;
+}
+
 /// A TCP flow runs across the fabric while a controller dies and a link on
 /// or off the path fails; measures both re-convergence and the goodput the
 /// flow kept through the failover.
@@ -121,10 +141,15 @@ Scenario failover_under_load() {
 }  // namespace
 
 std::vector<std::string> builtin_names() {
-  return {"rolling_restart",        "flapping_links",
-          "link_flap_storm",        "cascading_switch_failures",
-          "corruption_under_churn", "partition_and_heal",
-          "failover_under_load"};
+  std::vector<std::string> names = {
+      "rolling_restart",        "flapping_links",
+      "link_flap_storm",        "cascading_switch_failures",
+      "corruption_under_churn", "partition_and_heal",
+      "failover_under_load",    "throughput_window"};
+  static_assert(kBuiltinCount == 8,
+                "update builtin_names(), builtin() and kBuiltinCount "
+                "together");
+  return names;
 }
 
 Scenario builtin(const std::string& name) {
@@ -135,6 +160,7 @@ Scenario builtin(const std::string& name) {
   if (name == "corruption_under_churn") return corruption_under_churn();
   if (name == "partition_and_heal") return partition_and_heal();
   if (name == "failover_under_load") return failover_under_load();
+  if (name == "throughput_window") return throughput_window();
   std::string known;
   for (const auto& n : builtin_names()) known += " " + n;
   throw std::invalid_argument("unknown scenario \"" + name +

@@ -1,9 +1,12 @@
 // Built-in scenario library: programmable fault timelines the seed's fixed
 // per-figure benches cannot express. Each returns a ready-to-run Scenario
-// over the default axes (B4/Clos/Telstra x 3 controllers x 8 trials); the
-// CLI and callers can override any axis afterwards.
+// over the default grid (B4/Clos/Telstra x 3 controllers x 8 trials); the
+// CLI and callers can override any axis afterwards. The library holds
+// kBuiltinCount scenarios — keep that constant, builtin_names() and the
+// builtin() dispatch in lockstep (asserted in tests/test_scenario.cpp).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -11,7 +14,12 @@
 
 namespace ren::scenario {
 
-/// Names accepted by builtin(), in presentation order.
+/// How many built-in scenarios the library ships (the single place the
+/// count is written down; docs say "the built-ins" and defer to this).
+inline constexpr std::size_t kBuiltinCount = 8;
+
+/// Names accepted by builtin(), in presentation order. Exactly
+/// kBuiltinCount entries.
 [[nodiscard]] std::vector<std::string> builtin_names();
 
 /// Look up a built-in scenario. Throws std::invalid_argument for unknown

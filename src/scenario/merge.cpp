@@ -19,6 +19,14 @@ const Json& member(const Json& obj, const char* key) {
   return *v;
 }
 
+std::vector<double> series_from(const Json& obj, const char* key) {
+  std::vector<double> out;
+  for (const Json& v : member(obj, key).as_array()) {
+    out.push_back(v.as_number());
+  }
+  return out;
+}
+
 /// The outcome of one executed trial, reconstructed from a shard report.
 TrialOutcome outcome_from_raw(const Json& rj) {
   TrialOutcome out;
@@ -28,7 +36,21 @@ TrialOutcome outcome_from_raw(const Json& rj) {
     cp.label = member(cj, "label").as_string();
     cp.converged = member(cj, "converged").as_bool();
     cp.seconds = member(cj, "seconds").as_number();
+    cp.cmd_per_node_iter = member(cj, "cmd_per_node_iter").as_number();
     out.checkpoints.push_back(std::move(cp));
+  }
+  if (const Json* wins = rj.find("traffic_windows"); wins != nullptr) {
+    for (const Json& wj : wins->as_array()) {
+      TrialOutcome::TrafficWindow w;
+      w.label = member(wj, "label").as_string();
+      w.seconds = static_cast<int>(member(wj, "seconds").as_number());
+      w.mbits = member(wj, "mbits").as_number();
+      w.mbits_series = series_from(wj, "mbits_series");
+      w.retx_pct = series_from(wj, "retx_pct");
+      w.bad_pct = series_from(wj, "bad_pct");
+      w.ooo_pct = series_from(wj, "ooo_pct");
+      out.windows.push_back(std::move(w));
+    }
   }
   out.messages = member(rj, "messages").as_number();
   out.commands = member(rj, "commands").as_number();
@@ -37,6 +59,18 @@ TrialOutcome outcome_from_raw(const Json& rj) {
   if (const Json* t = rj.find("traffic_mbits"); t != nullptr) {
     out.has_traffic = true;
     out.traffic_mbits = t->as_number();
+  }
+  return out;
+}
+
+/// A cell's generic-axis point, reconstructed from its "axes" member (the
+/// cell identity under shard merging is topology + controllers + axes).
+AxisPoint axes_from_cell(const Json& cell) {
+  AxisPoint out;
+  if (const Json* axes = cell.find("axes"); axes != nullptr) {
+    for (const auto& [name, value] : axes->as_object()) {
+      out.emplace_back(name, value.as_number());
+    }
   }
   return out;
 }
@@ -104,7 +138,8 @@ CampaignResult merge_campaigns(const std::vector<Json>& shards) {
       if (member(cell, "topology").as_string() !=
               member(first_cells[c], "topology").as_string() ||
           member(cell, "controllers").as_number() !=
-              member(first_cells[c], "controllers").as_number()) {
+              member(first_cells[c], "controllers").as_number() ||
+          axes_from_cell(cell) != axes_from_cell(first_cells[c])) {
         bad("shard grids differ (cell " + std::to_string(c) + ")");
       }
       const int executed = static_cast<int>(member(cell, "trials").as_number());
@@ -150,7 +185,8 @@ CampaignResult merge_campaigns(const std::vector<Json>& shards) {
     result.cells.push_back(aggregate_cell(
         member(first_cells[c], "topology").as_string(),
         static_cast<int>(member(first_cells[c], "controllers").as_number()),
-        std::move(outcomes), /*include_raw=*/false));
+        axes_from_cell(first_cells[c]), std::move(outcomes),
+        /*include_raw=*/false));
   }
   return result;
 }

@@ -32,9 +32,10 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-sim::ExperimentConfig profile_config(const std::string& topology,
-                                     int controllers, std::uint64_t seed,
-                                     bool paper_timers) {
+sim::ExperimentConfig profile_config(const Scenario& s,
+                                     const std::string& topology,
+                                     int controllers, const AxisPoint& axes,
+                                     std::uint64_t seed, bool paper_timers) {
   sim::ExperimentConfig cfg;
   cfg.topology = topology;
   cfg.controllers = controllers;
@@ -53,7 +54,71 @@ sim::ExperimentConfig profile_config(const std::string& topology,
     cfg.theta = 10;
   }
   cfg.rule_retention = 3;
+  if (s.calibrate_rtt) {
+    // The Section 6.4.3 throughput setup: per-topology latency so the
+    // host-to-host RTT lands near 16 ms (the hosts sit at diameter + 2
+    // hops from each other, counting the attach edges).
+    const int diameter = topo::by_name(topology).expected_diameter;
+    cfg.link_latency = 16'000 / (2 * (diameter + 2));
+  }
+  cfg.max_events = s.max_events;
+  // Generic axis points override the profile last, so an axis value always
+  // wins (e.g. a task_delay_ms axis replaces either profile's task delay).
+  for (const auto& [name, value] : axes) sim::apply_axis(cfg, name, value);
   return cfg;
+}
+
+/// Cross-product of the scenario's generic axes, in declaration order; a
+/// scenario without axes yields the single empty point.
+std::vector<AxisPoint> expand_axis_points(const Scenario& s) {
+  std::vector<AxisPoint> points{AxisPoint{}};
+  for (const Axis& a : s.axes) {
+    if (a.values.empty())
+      throw std::invalid_argument("axis \"" + a.name + "\" has no values");
+    std::vector<AxisPoint> next;
+    next.reserve(points.size() * a.values.size());
+    for (const AxisPoint& p : points) {
+      for (double v : a.values) {
+        AxisPoint q = p;
+        q.emplace_back(a.name, v);
+        next.push_back(std::move(q));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+/// Element-wise mean of variable-length per-second series: each second
+/// averages over the trials whose series reach it.
+struct SeriesAcc {
+  std::vector<double> sum;
+  std::vector<int> n;
+
+  void add(const std::vector<double>& v) {
+    if (v.size() > sum.size()) {
+      sum.resize(v.size(), 0.0);
+      n.resize(v.size(), 0);
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      sum[i] += v[i];
+      n[i] += 1;
+    }
+  }
+
+  [[nodiscard]] std::vector<double> mean() const {
+    std::vector<double> out(sum.size(), 0.0);
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      if (n[i] > 0) out[i] = sum[i] / n[i];
+    }
+    return out;
+  }
+};
+
+Json series_json(const std::vector<double>& series) {
+  Json j{JsonArray{}};
+  for (double v : series) j.push_back(v);
+  return j;
 }
 
 Json summary_json(const PercentileSummary& p) {
@@ -72,19 +137,29 @@ Json summary_json(const PercentileSummary& p) {
 class TrialExecutor {
  public:
   TrialExecutor(const Scenario& s, const std::string& topology,
-                int controllers, std::uint64_t seed, const RunnerOptions& opt)
+                int controllers, const AxisPoint& axes, std::uint64_t seed,
+                const RunnerOptions& opt)
       : scenario_(s),
         // The scenario fault stream is separate from the experiment's
         // internal streams so adding internal randomness never reshuffles
         // which victims a scenario picks.
         fault_rng_(mix64(seed ^ 0x5ce9a5ce9a5ce9aULL)) {
-    auto cfg = profile_config(topology, controllers, seed, opt.paper_timers);
+    auto cfg =
+        profile_config(s, topology, controllers, axes, seed, opt.paper_timers);
     cfg.with_hosts = s.needs_hosts();
     cfg.monitor_paranoid = opt.paranoid_monitor;
     cfg.views_paranoid = opt.paranoid_views;
     cfg.batches_paranoid = opt.paranoid_batches;
     exp_ = std::make_unique<sim::Experiment>(std::move(cfg));
     cp_ = exp_->control_plane();
+    // Traffic scenarios register the host<->host data flow up front so its
+    // rules install during bootstrap — a start_traffic event then opens its
+    // window at exactly its timestamp instead of consuming a variable
+    // install wait, which is what lets throughput figures (15/16) place
+    // fail_path_link/stop_traffic at fixed offsets from the window start.
+    if (s.needs_hosts()) {
+      flow_owner_ = exp_->register_default_data_flow();
+    }
   }
 
   TrialOutcome run() {
@@ -127,42 +202,62 @@ class TrialExecutor {
         for (auto* c : exp_->controllers()) c->set_frozen(false);
         break;
       case EventKind::StartTraffic:
-        start_traffic();
+        start_traffic(ev.label);
         break;
+      case EventKind::StopTraffic:
+        if (traffic_stats_ == nullptr)
+          throw std::logic_error("stop_traffic: no open traffic window");
+        close_window(out);
+        break;
+      case EventKind::FailPathLink: {
+        const auto link = exp_->fail_data_path_link(ev.detection);
+        if (link.first == kNoNode)
+          throw std::logic_error(
+              "fail_path_link: no data-path link to fail (is a flow "
+              "installed?)");
+        break;
+      }
       case EventKind::ExpectConverged: {
         const auto r = exp_->run_until_legitimate(ev.limit);
         TrialOutcome::Checkpoint cp;
         cp.label = ev.label;
         cp.converged = r.converged;
         cp.seconds = r.converged ? r.seconds : to_seconds(ev.limit);
+        // Fig. 9's normalized cost: max-loaded controller by commands sent
+        // over the wait, per completed iteration and per node.
+        const auto nodes = static_cast<double>(
+            exp_->topology().switch_graph.n() +
+            static_cast<int>(exp_->controller_count()));
+        for (std::size_t k = 0; k < r.commands.size(); ++k) {
+          if (r.iterations[k] == 0) continue;
+          const double per_node = static_cast<double>(r.commands[k]) /
+                                  static_cast<double>(r.iterations[k]) / nodes;
+          cp.cmd_per_node_iter = std::max(cp.cmd_per_node_iter, per_node);
+        }
         out.checkpoints.push_back(std::move(cp));
         break;
       }
     }
   }
 
-  void start_traffic() {
+  void start_traffic(const std::string& label) {
     tcp::Host* a = exp_->host_a();
     tcp::Host* b = exp_->host_b();
     if (a == nullptr || b == nullptr)
       throw std::logic_error("start_traffic: experiment has no hosts");
-    core::Controller* owner = nullptr;
-    for (auto* c : exp_->controllers()) {
-      if (c->alive()) {
-        owner = c;
-        break;
-      }
+    // One window per trial: the hosts' TCP endpoints are single-flow, and
+    // replacing a sender would leave its queued RTO callbacks dangling.
+    if (traffic_stats_ != nullptr || !retired_stats_.empty())
+      throw std::logic_error(
+          "start_traffic: only one traffic window per trial is supported");
+    // The build-time flow owner may have been killed by an earlier event;
+    // re-register on a surviving controller so the flow stays provisioned.
+    if (flow_owner_ == nullptr || !flow_owner_->alive()) {
+      flow_owner_ = exp_->register_default_data_flow();
     }
-    if (owner == nullptr)
-      throw std::logic_error("start_traffic: no live controller");
-    core::Controller::DataFlowSpec spec;
-    spec.host_a = a->id();
-    spec.attach_a = a->attach();
-    spec.host_b = b->id();
-    spec.attach_b = b->attach();
-    owner->register_data_flow(spec);
-    // Epoch-gated install wait: the data path can only appear after some
-    // rule table or link changed, so re-walk the rules only then.
+    // Fallback install wait (epoch-gated): the flow is registered at build
+    // time, so after a bootstrap checkpoint the path is already walkable and
+    // this loop exits without consuming simulated time.
     const Time deadline = exp_->sim().now() + sec(30);
     std::uint64_t walked_epoch = exp_->monitor().stack_epoch() - 1;
     while (exp_->sim().now() < deadline) {
@@ -179,8 +274,38 @@ class TrialExecutor {
     tcp_cfg.rwnd = 1u << 20;
     b->make_receiver(a->id(), tcp_cfg, traffic_stats_.get());
     auto& sender = a->make_sender(b->id(), tcp_cfg, traffic_stats_.get());
+    window_label_ = label;
     traffic_start_ = exp_->sim().now();
     sender.start(traffic_start_);
+  }
+
+  /// Close the open traffic window: stop the sender and record the window's
+  /// series + mean goodput.
+  void close_window(TrialOutcome& out) {
+    if (traffic_stats_ == nullptr) return;
+    if (exp_->host_a() != nullptr && exp_->host_a()->sender() != nullptr) {
+      exp_->host_a()->sender()->stop();
+    }
+    TrialOutcome::TrafficWindow w;
+    w.label = window_label_.empty() ? "traffic" : window_label_;
+    w.seconds =
+        static_cast<int>((exp_->sim().now() - traffic_start_) / sec(1));
+    if (w.seconds > 0) {
+      w.mbits_series = traffic_stats_->mbits_series(w.seconds);
+      w.retx_pct = traffic_stats_->retransmission_pct(w.seconds);
+      w.bad_pct = traffic_stats_->bad_tcp_pct(w.seconds);
+      w.ooo_pct = traffic_stats_->out_of_order_pct(w.seconds);
+      double total = 0;
+      for (double v : w.mbits_series) total += v;
+      w.mbits = total / w.seconds;
+    }
+    out.windows.push_back(std::move(w));
+    // Retire the stats object instead of destroying it: the hosts' TCP
+    // endpoints keep raw pointers to it, and segments still in flight at
+    // the stop instant are delivered (and recorded) if the timeline
+    // advances further — the window snapshot above is already taken.
+    retired_stats_.push_back(std::move(traffic_stats_));
+    window_label_.clear();
   }
 
   void finish(TrialOutcome& out) {
@@ -192,18 +317,10 @@ class TrialExecutor {
       out.illegitimate_deletions +=
           static_cast<double>(c->stats().illegitimate_deletions);
     }
-    if (traffic_stats_ != nullptr) {
-      if (exp_->host_a() != nullptr && exp_->host_a()->sender() != nullptr) {
-        exp_->host_a()->sender()->stop();
-      }
-      const int seconds = static_cast<int>(
-          (exp_->sim().now() - traffic_start_) / sec(1));
+    close_window(out);  // a window left open closes at trial end
+    if (!out.windows.empty()) {
       out.has_traffic = true;
-      if (seconds > 0) {
-        double total = 0;
-        for (double v : traffic_stats_->mbits_series(seconds)) total += v;
-        out.traffic_mbits = total / seconds;
-      }
+      out.traffic_mbits = out.windows.front().mbits;
     }
   }
 
@@ -211,7 +328,13 @@ class TrialExecutor {
   Rng fault_rng_;
   std::unique_ptr<sim::Experiment> exp_;
   faults::ControlPlane cp_;
-  std::unique_ptr<tcp::FlowStats> traffic_stats_;
+  core::Controller* flow_owner_ = nullptr;  ///< data-flow owner (traffic)
+  std::unique_ptr<tcp::FlowStats> traffic_stats_;  ///< open window, if any
+  /// The closed window's stats, kept alive for the rest of the trial: the
+  /// hosts' TCP endpoints hold raw pointers into it and may still record
+  /// in-flight segments after the window snapshot was taken.
+  std::vector<std::unique_ptr<tcp::FlowStats>> retired_stats_;
+  std::string window_label_;
   Time traffic_start_ = 0;
 };
 
@@ -227,11 +350,17 @@ std::uint64_t trial_seed(std::uint64_t base_seed, const std::string& topology,
 }
 
 TrialOutcome run_trial(const Scenario& s, const std::string& topology,
-                       int controllers, int trial, const RunnerOptions& opt) {
+                       int controllers, const AxisPoint& axes, int trial,
+                       const RunnerOptions& opt) {
   const std::uint64_t seed =
       trial_seed(s.base_seed, topology, controllers, trial);
-  TrialExecutor exec(s, topology, controllers, seed, opt);
+  TrialExecutor exec(s, topology, controllers, axes, seed, opt);
   return exec.run();
+}
+
+TrialOutcome run_trial(const Scenario& s, const std::string& topology,
+                       int controllers, int trial, const RunnerOptions& opt) {
+  return run_trial(s, topology, controllers, AxisPoint{}, trial, opt);
 }
 
 CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
@@ -240,19 +369,23 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
       opt.shard_index >= opt.shard_count) {
     throw std::invalid_argument("run_campaign: shard must satisfy 0 <= k < n");
   }
+  const std::vector<AxisPoint> axis_points = expand_axis_points(s);
 
   struct GridPoint {
     std::size_t cell;
     std::string topology;
     int controllers;
+    std::size_t axis_point;
     int trial;
   };
   std::vector<GridPoint> grid;
   std::size_t cell = 0;
   for (const auto& t : s.topologies) {
     for (int nc : s.controllers) {
-      for (int r = 0; r < s.trials; ++r) grid.push_back({cell, t, nc, r});
-      ++cell;
+      for (std::size_t ap = 0; ap < axis_points.size(); ++ap) {
+        for (int r = 0; r < s.trials; ++r) grid.push_back({cell, t, nc, ap, r});
+        ++cell;
+      }
     }
   }
 
@@ -274,7 +407,8 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
       if (!in_shard(i)) continue;
       const GridPoint& g = grid[i];
       try {
-        outcomes[i] = run_trial(s, g.topology, g.controllers, g.trial, opt);
+        outcomes[i] = run_trial(s, g.topology, g.controllers,
+                                axis_points[g.axis_point], g.trial, opt);
       } catch (const std::exception& e) {
         outcomes[i].ok = false;
         outcomes[i].error = e.what();
@@ -309,29 +443,42 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
   std::size_t at = 0;
   for (const auto& t : s.topologies) {
     for (int nc : s.controllers) {
-      std::vector<std::pair<int, TrialOutcome>> cell_outcomes;
-      for (int r = 0; r < s.trials; ++r, ++at) {
-        if (executed[at] == 0) continue;  // another shard's trial
-        cell_outcomes.emplace_back(r, std::move(outcomes[at]));
+      for (const AxisPoint& ap : axis_points) {
+        std::vector<std::pair<int, TrialOutcome>> cell_outcomes;
+        for (int r = 0; r < s.trials; ++r, ++at) {
+          if (executed[at] == 0) continue;  // another shard's trial
+          cell_outcomes.emplace_back(r, std::move(outcomes[at]));
+        }
+        result.cells.push_back(aggregate_cell(t, nc, ap,
+                                              std::move(cell_outcomes),
+                                              opt.include_raw));
       }
-      result.cells.push_back(
-          aggregate_cell(t, nc, std::move(cell_outcomes), opt.include_raw));
     }
   }
   return result;
 }
 
 CellResult aggregate_cell(const std::string& topology, int controllers,
+                          AxisPoint axes,
                           std::vector<std::pair<int, TrialOutcome>> outcomes,
                           bool include_raw) {
   CellResult cr;
   cr.topology = topology;
   cr.controllers = controllers;
+  cr.axes = std::move(axes);
   Sample messages, commands, violations, traffic;
   // label -> aggregation slot, in first-seen (timeline) order
   std::vector<std::string> labels;
-  std::vector<Sample> cp_seconds;
+  std::vector<Sample> cp_seconds, cp_rate;
   std::vector<int> cp_converged, cp_total;
+  // traffic-window label -> aggregation slot, in first-seen order
+  struct WindowAcc {
+    std::string label;
+    int trials = 0;
+    Sample mbits;
+    SeriesAcc mbits_series, retx, bad, ooo;
+  };
+  std::vector<WindowAcc> windows;
   for (auto& [r, out] : outcomes) {
     if (!out.ok) {
       cr.errors.push_back("trial " + std::to_string(r) + ": " + out.error);
@@ -350,12 +497,34 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
       if (k >= labels.size()) {
         labels.push_back(c.label);
         cp_seconds.emplace_back();
+        cp_rate.emplace_back();
         cp_converged.push_back(0);
         cp_total.push_back(0);
       }
       cp_seconds[k].add(c.seconds);
+      cp_rate[k].add(c.cmd_per_node_iter);
       cp_converged[k] += c.converged ? 1 : 0;
       cp_total[k] += 1;
+    }
+    for (const auto& w : out.windows) {
+      WindowAcc* acc = nullptr;
+      for (auto& cand : windows) {
+        if (cand.label == w.label) {
+          acc = &cand;
+          break;
+        }
+      }
+      if (acc == nullptr) {
+        windows.emplace_back();
+        windows.back().label = w.label;
+        acc = &windows.back();
+      }
+      ++acc->trials;
+      acc->mbits.add(w.mbits);
+      acc->mbits_series.add(w.mbits_series);
+      acc->retx.add(w.retx_pct);
+      acc->bad.add(w.bad_pct);
+      acc->ooo.add(w.ooo_pct);
     }
     if (include_raw) cr.raw.emplace_back(r, std::move(out));
   }
@@ -365,7 +534,19 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
     agg.converged = cp_converged[k];
     agg.trials = cp_total[k];
     agg.seconds = cp_seconds[k].percentiles();
+    agg.cmd_per_node_iter = cp_rate[k].percentiles();
     cr.checkpoints.push_back(std::move(agg));
+  }
+  for (auto& acc : windows) {
+    CellResult::WindowAgg agg;
+    agg.label = acc.label;
+    agg.trials = acc.trials;
+    agg.mbits = acc.mbits.percentiles();
+    agg.mbits_series = acc.mbits_series.mean();
+    agg.retx_pct = acc.retx.mean();
+    agg.bad_pct = acc.bad.mean();
+    agg.ooo_pct = acc.ooo.mean();
+    cr.windows.push_back(std::move(agg));
   }
   cr.messages = messages.percentiles();
   cr.commands = commands.percentiles();
@@ -390,6 +571,11 @@ Json CampaignResult::to_json() const {
     Json cj;
     cj.set("topology", c.topology);
     cj.set("controllers", c.controllers);
+    if (!c.axes.empty()) {
+      Json axes;
+      for (const auto& [name, value] : c.axes) axes.set(name, value);
+      cj.set("axes", std::move(axes));
+    }
     cj.set("trials", c.trials);
     Json cps{JsonArray{}};
     for (const auto& cp : c.checkpoints) {
@@ -398,9 +584,25 @@ Json CampaignResult::to_json() const {
       j.set("converged", cp.converged);
       j.set("trials", cp.trials);
       j.set("seconds", summary_json(cp.seconds));
+      j.set("cmd_per_node_iter", summary_json(cp.cmd_per_node_iter));
       cps.push_back(std::move(j));
     }
     cj.set("checkpoints", std::move(cps));
+    if (!c.windows.empty()) {
+      Json wins{JsonArray{}};
+      for (const auto& w : c.windows) {
+        Json j;
+        j.set("label", w.label);
+        j.set("trials", w.trials);
+        j.set("mbits", summary_json(w.mbits));
+        j.set("mbits_series", series_json(w.mbits_series));
+        j.set("retx_pct", series_json(w.retx_pct));
+        j.set("bad_pct", series_json(w.bad_pct));
+        j.set("ooo_pct", series_json(w.ooo_pct));
+        wins.push_back(std::move(j));
+      }
+      cj.set("traffic_windows", std::move(wins));
+    }
     if (!c.errors.empty()) {
       Json errs{JsonArray{}};
       for (const auto& e : c.errors) errs.push_back(e);
@@ -421,9 +623,25 @@ Json CampaignResult::to_json() const {
           j.set("label", rcp.label);
           j.set("converged", rcp.converged);
           j.set("seconds", rcp.seconds);
+          j.set("cmd_per_node_iter", rcp.cmd_per_node_iter);
           rcps.push_back(std::move(j));
         }
         rj.set("checkpoints", std::move(rcps));
+        if (!out.windows.empty()) {
+          Json rwins{JsonArray{}};
+          for (const auto& w : out.windows) {
+            Json j;
+            j.set("label", w.label);
+            j.set("seconds", w.seconds);
+            j.set("mbits", w.mbits);
+            j.set("mbits_series", series_json(w.mbits_series));
+            j.set("retx_pct", series_json(w.retx_pct));
+            j.set("bad_pct", series_json(w.bad_pct));
+            j.set("ooo_pct", series_json(w.ooo_pct));
+            rwins.push_back(std::move(j));
+          }
+          rj.set("traffic_windows", std::move(rwins));
+        }
         rj.set("messages", out.messages);
         rj.set("commands", out.commands);
         rj.set("illegitimate_deletions", out.illegitimate_deletions);

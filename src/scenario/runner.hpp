@@ -1,15 +1,16 @@
 // The campaign runner: expands a Scenario over its parameter grid
-// (topology x controller-count x seed), executes the trials on a thread
-// pool — each trial is one single-threaded Experiment, so the paper's
-// interleaving model is preserved inside a trial while the campaign uses
-// every core — and aggregates the per-trial measurements into percentile
-// summaries with a deterministic JSON rendering.
+// (topology x controller-count x generic axes x seed), executes the trials
+// on a thread pool — each trial is one single-threaded Experiment, so the
+// paper's interleaving model is preserved inside a trial while the campaign
+// uses every core — and aggregates the per-trial measurements into
+// percentile summaries with a deterministic JSON rendering.
 //
 // Determinism contract: a campaign's JSON output depends only on the
 // scenario (including base_seed) and the timer profile, never on the thread
 // count. Every trial derives its own RNG streams from the (scenario seed,
-// topology, controllers, trial index) tuple, and aggregation happens in grid
-// order after all workers join.
+// topology, controllers, trial index) tuple — axis points deliberately share
+// seeds so sweeps are paired — and aggregation happens in grid order after
+// all workers join.
 #pragma once
 
 #include <cstdint>
@@ -49,35 +50,70 @@ struct RunnerOptions {
   int shard_count = 1;
 };
 
+/// One concrete point of the generic axes: (axis name, value) in the
+/// scenario's axis declaration order. Empty when the scenario has no axes.
+using AxisPoint = std::vector<std::pair<std::string, double>>;
+
 /// One executed trial (a single seeded run of the scenario timeline).
 struct TrialOutcome {
   struct Checkpoint {
     std::string label;
     bool converged = false;
     double seconds = 0;  ///< convergence time, or the limit when it failed
+    /// Fig. 9's normalized communication cost over the checkpoint's wait:
+    /// max over controllers of commands / iterations / node-count.
+    double cmd_per_node_iter = 0;
+  };
+  /// One closed traffic window (start_traffic .. stop_traffic / trial end):
+  /// per-second series after the paper's Figs. 15/16/18-20 plus the mean
+  /// goodput over the whole window.
+  struct TrafficWindow {
+    std::string label;
+    int seconds = 0;           ///< whole seconds the window spans
+    double mbits = 0;          ///< mean goodput over the window
+    std::vector<double> mbits_series;
+    std::vector<double> retx_pct;  ///< retransmitted-packet % (Fig. 18)
+    std::vector<double> bad_pct;   ///< "BAD TCP" % (Fig. 19)
+    std::vector<double> ooo_pct;   ///< out-of-order % (Fig. 20)
   };
   bool ok = false;    ///< false: the trial threw (error holds the message)
   std::string error;
   std::vector<Checkpoint> checkpoints;
+  std::vector<TrafficWindow> windows;
   double messages = 0;   ///< control messages originated by controllers
   double commands = 0;   ///< controller commands issued
   double illegitimate_deletions = 0;  ///< deletions that hit live peers
   bool has_traffic = false;
-  double traffic_mbits = 0;  ///< mean goodput over the traffic window
+  double traffic_mbits = 0;  ///< mean goodput of the first traffic window
 };
 
-/// Aggregates for one (topology, controllers) grid cell.
+/// Aggregates for one (topology, controllers, axis point) grid cell.
 struct CellResult {
   std::string topology;
   int controllers = 0;
+  AxisPoint axes;  ///< this cell's generic-axis values (empty: no axes)
   int trials = 0;  ///< trials that ran to completion
   struct CheckpointAgg {
     std::string label;
     int converged = 0;
     int trials = 0;
     PercentileSummary seconds;
+    PercentileSummary cmd_per_node_iter;
   };
   std::vector<CheckpointAgg> checkpoints;
+  /// Per traffic-window label: summary of per-trial mean goodput plus
+  /// per-second series averaged element-wise over the trials that reached
+  /// that second.
+  struct WindowAgg {
+    std::string label;
+    int trials = 0;
+    PercentileSummary mbits;
+    std::vector<double> mbits_series;
+    std::vector<double> retx_pct;
+    std::vector<double> bad_pct;
+    std::vector<double> ooo_pct;
+  };
+  std::vector<WindowAgg> windows;
   /// Error messages of trials that threw, in trial order ("trial N: what").
   /// Such trials are excluded from the aggregates but never silently: they
   /// are also reported in the JSON output.
@@ -111,7 +147,12 @@ struct CampaignResult {
                                        int controllers, int trial);
 
 /// Execute one trial synchronously (exposed for tests and the ported
-/// benches; run_campaign is a thread pool over this).
+/// benches; run_campaign is a thread pool over this). The AxisPoint overload
+/// applies the given axis values on top of the timer profile.
+[[nodiscard]] TrialOutcome run_trial(const Scenario& s,
+                                     const std::string& topology,
+                                     int controllers, const AxisPoint& axes,
+                                     int trial, const RunnerOptions& opt);
 [[nodiscard]] TrialOutcome run_trial(const Scenario& s,
                                      const std::string& topology,
                                      int controllers, int trial,
@@ -123,7 +164,7 @@ struct CampaignResult {
 /// share this, which is what makes a merged shard report byte-identical to
 /// the unsharded campaign.
 [[nodiscard]] CellResult aggregate_cell(
-    const std::string& topology, int controllers,
+    const std::string& topology, int controllers, AxisPoint axes,
     std::vector<std::pair<int, TrialOutcome>> outcomes, bool include_raw);
 
 /// Expand the grid, run every trial (in parallel), aggregate.

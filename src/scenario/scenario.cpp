@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "sim/experiment.hpp"
+
 namespace ren::scenario {
 
 const char* to_string(EventKind k) {
@@ -17,6 +19,8 @@ const char* to_string(EventKind k) {
     case EventKind::Freeze: return "freeze";
     case EventKind::Unfreeze: return "unfreeze";
     case EventKind::StartTraffic: return "start_traffic";
+    case EventKind::StopTraffic: return "stop_traffic";
+    case EventKind::FailPathLink: return "fail_path_link";
     case EventKind::ExpectConverged: return "expect_converged";
   }
   return "?";
@@ -96,9 +100,44 @@ Scenario& Scenario::unfreeze(Time at) {
   return *this;
 }
 
-Scenario& Scenario::start_traffic(Time at) {
-  events.push_back(make_event(at, EventKind::StartTraffic));
+Scenario& Scenario::start_traffic(Time at, std::string label) {
+  Event e = make_event(at, EventKind::StartTraffic);
+  e.label = std::move(label);
+  events.push_back(std::move(e));
   with_hosts = true;
+  return *this;
+}
+
+Scenario& Scenario::stop_traffic(Time at) {
+  events.push_back(make_event(at, EventKind::StopTraffic));
+  return *this;
+}
+
+Scenario& Scenario::fail_path_link(Time at, Time detection) {
+  if (detection < 0)
+    throw std::invalid_argument(
+        "Scenario::fail_path_link: detection must be >= 0");
+  Event e = make_event(at, EventKind::FailPathLink);
+  e.detection = detection;
+  events.push_back(e);
+  return *this;
+}
+
+Scenario& Scenario::axis(const std::string& name, std::vector<double> values) {
+  if (values.empty())
+    throw std::invalid_argument("Scenario::axis: \"" + name +
+                                "\" needs at least one value");
+  // Name + domain validation against the single source of truth (throws on
+  // unknown names / out-of-domain values).
+  sim::ExperimentConfig scratch;
+  for (double v : values) sim::apply_axis(scratch, name, v);
+  for (Axis& a : axes) {
+    if (a.name == name) {
+      a.values = std::move(values);
+      return *this;
+    }
+  }
+  axes.push_back({name, std::move(values)});
   return *this;
 }
 
@@ -151,21 +190,23 @@ bool Scenario::needs_hosts() const {
 
 namespace {
 
-/// Spec seeds travel through JSON numbers (doubles); anything above 2^53
-/// would round silently and break the "same seed, same bytes" contract, so
-/// both directions reject it loudly.
-constexpr std::uint64_t kMaxSpecSeed = 1ULL << 53;
+/// Spec seeds (and event budgets) travel through JSON numbers (doubles);
+/// anything above 2^53 would round silently and break the "same seed, same
+/// bytes" contract, so both directions reject it loudly.
+constexpr std::uint64_t kMaxSpecInt = 1ULL << 53;
 
-void check_seed_fits(std::uint64_t seed) {
-  if (seed > kMaxSpecSeed)
-    throw std::invalid_argument(
-        "spec: seed must be <= 2^53 (JSON numbers cannot hold it exactly)");
+void check_spec_int_fits(std::uint64_t v, const char* what) {
+  if (v > kMaxSpecInt)
+    throw std::invalid_argument(std::string("spec: ") + what +
+                                " must be <= 2^53 (JSON numbers cannot hold "
+                                "it exactly)");
 }
 
 }  // namespace
 
 Json to_spec_json(const Scenario& s) {
-  check_seed_fits(s.base_seed);
+  check_spec_int_fits(s.base_seed, "seed");
+  check_spec_int_fits(s.max_events, "max_events");
   Json doc;
   doc.set("name", s.name);
   doc.set("description", s.description);
@@ -177,7 +218,18 @@ Json to_spec_json(const Scenario& s) {
   doc.set("controllers", std::move(ctrls));
   doc.set("trials", s.trials);
   doc.set("seed", s.base_seed);
+  if (!s.axes.empty()) {
+    Json axes;
+    for (const Axis& a : s.axes) {
+      Json values{JsonArray{}};
+      for (double v : a.values) values.push_back(v);
+      axes.set(a.name, std::move(values));
+    }
+    doc.set("axes", std::move(axes));
+  }
   if (s.with_hosts) doc.set("with_hosts", true);
+  if (s.calibrate_rtt) doc.set("calibrate_rtt", true);
+  if (s.max_events > 0) doc.set("max_events", s.max_events);
   Json events{JsonArray{}};
   for (const Event& e : s.events) {
     Json ev;
@@ -191,6 +243,12 @@ Json to_spec_json(const Scenario& s) {
       case EventKind::FailLinks:
         ev.set("count", e.count);
         if (!e.keep_connected) ev.set("keep_connected", false);
+        break;
+      case EventKind::StartTraffic:
+        if (!e.label.empty()) ev.set("label", e.label);
+        break;
+      case EventKind::FailPathLink:
+        ev.set("detection_ms", e.detection / 1000);
         break;
       case EventKind::ExpectConverged:
         ev.set("label", e.label);
@@ -220,12 +278,26 @@ void reject_unknown_keys(const Json& obj, const std::set<std::string>& known,
   }
 }
 
+/// Read a non-negative integer spec field, validating the double *before*
+/// the cast (a negative or huge value must be a loud error, not undefined
+/// behavior of the float-to-unsigned conversion).
+std::uint64_t spec_uint(const Json& doc, const char* key, std::uint64_t dflt,
+                        const char* what) {
+  const double v = doc.number_or(key, static_cast<double>(dflt));
+  if (v < 0 || v > static_cast<double>(kMaxSpecInt)) {
+    throw std::invalid_argument(std::string("spec: ") + what +
+                                " must be in [0, 2^53]");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 }  // namespace
 
 Scenario parse_spec_json(const Json& doc) {
   reject_unknown_keys(doc,
                       {"name", "description", "topologies", "controllers",
-                       "trials", "seed", "with_hosts", "events"},
+                       "trials", "seed", "axes", "with_hosts", "calibrate_rtt",
+                       "max_events", "events"},
                       "scenario");
   Scenario s;
   s.name = doc.string_or("name", "unnamed");
@@ -240,15 +312,23 @@ Scenario parse_spec_json(const Json& doc) {
       s.controllers.push_back(static_cast<int>(v.as_number()));
   }
   s.trials = static_cast<int>(doc.number_or("trials", s.trials));
-  s.base_seed = static_cast<std::uint64_t>(
-      doc.number_or("seed", static_cast<double>(s.base_seed)));
-  check_seed_fits(s.base_seed);
+  s.base_seed = spec_uint(doc, "seed", s.base_seed, "seed");
+  if (const Json* axes = doc.find("axes")) {
+    // Scenario::axis validates names and value domains (loud on typos).
+    for (const auto& [name, values] : axes->as_object()) {
+      std::vector<double> vs;
+      for (const Json& v : values.as_array()) vs.push_back(v.as_number());
+      s.axis(name, std::move(vs));
+    }
+  }
   s.with_hosts = doc.bool_or("with_hosts", false);
+  s.calibrate_rtt = doc.bool_or("calibrate_rtt", false);
+  s.max_events = spec_uint(doc, "max_events", 0, "max_events");
   if (const Json* evs = doc.find("events")) {
     for (const Json& ej : evs->as_array()) {
       reject_unknown_keys(ej,
                           {"at_ms", "kind", "count", "keep_connected", "label",
-                           "limit_ms", "every_ms", "repeat"},
+                           "limit_ms", "detection_ms", "every_ms", "repeat"},
                           "event");
       Event e;
       e.at = msec(static_cast<std::int64_t>(ej.number_or("at_ms", 0)));
@@ -257,6 +337,10 @@ Scenario parse_spec_json(const Json& doc) {
       e.keep_connected = ej.bool_or("keep_connected", true);
       e.limit =
           msec(static_cast<std::int64_t>(ej.number_or("limit_ms", 120'000)));
+      e.detection =
+          msec(static_cast<std::int64_t>(ej.number_or("detection_ms", 150)));
+      if (e.detection < 0)
+        throw std::runtime_error("spec: detection_ms must be >= 0");
       e.label = ej.string_or("label", "");
       e.every = msec(static_cast<std::int64_t>(ej.number_or("every_ms", 0)));
       e.repeat = static_cast<int>(ej.number_or("repeat", 1));

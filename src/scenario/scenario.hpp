@@ -1,8 +1,10 @@
 // The declarative scenario model: a timeline of timed fault/traffic/
-// measurement events plus the parameter axes (topology x controller-count x
-// seed) a campaign sweeps over. Scenarios come from three places: the C++
-// builder API below, the built-in library (scenario/library.hpp), and JSON
-// spec files (parse_spec / to_spec_json round-trip, see README for the spec
+// measurement events plus the parameter axes a campaign sweeps over — the
+// built-in topology x controller-count x seed grid composed with any number
+// of generic config axes (kappa, task_delay_ms, link_loss, theta; see
+// sim::axis_names()). Scenarios come from three places: the C++ builder API
+// below, the built-in library (scenario/library.hpp), and JSON spec files
+// (parse_spec / to_spec_json round-trip, see docs/scenarios.md for the spec
 // reference).
 #pragma once
 
@@ -24,7 +26,9 @@ enum class EventKind {
   CorruptAll,       ///< transient-fault storm over all live state
   Freeze,           ///< freeze the controllers' do-forever loops
   Unfreeze,         ///< resume the controllers
-  StartTraffic,     ///< start the host-pair TCP flow (needs with_hosts)
+  StartTraffic,     ///< open a traffic window: start the host-pair TCP flow
+  StopTraffic,      ///< close the open traffic window (stop the sender)
+  FailPathLink,     ///< fail a link on the current data path (Figs. 15-20)
   ExpectConverged,  ///< checkpoint: wait for legitimacy, record the time
 };
 
@@ -38,7 +42,11 @@ struct Event {
   int count = 1;               ///< Kill*/FailLinks victim count
   bool keep_connected = true;  ///< FailLinks: honor the paper's assumption
   Time limit = sec(120);       ///< ExpectConverged wait bound
-  std::string label;           ///< ExpectConverged checkpoint name
+  std::string label;           ///< ExpectConverged checkpoint / traffic window
+  /// FailPathLink: port-down detection window — the link blackholes traffic
+  /// for this long before it goes permanently down (drives the Fig. 18
+  /// retransmission spike).
+  Time detection = msec(150);
   /// Periodic repetition ("every_ms" in the JSON spec): when `every` > 0 the
   /// event fires `repeat` times at `at`, `at`+every, ... — flap storms no
   /// longer unroll their timelines. ExpectConverged occurrences after the
@@ -47,6 +55,16 @@ struct Event {
   int repeat = 1;
 
   bool operator==(const Event&) const = default;
+};
+
+/// One generic sweep axis: a named ExperimentConfig parameter and the values
+/// the campaign crosses with the topology x controllers x seed grid. Valid
+/// names are sim::axis_names() (kappa, theta, task_delay_ms, link_loss).
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+
+  bool operator==(const Axis&) const = default;
 };
 
 struct Scenario {
@@ -58,8 +76,20 @@ struct Scenario {
   std::vector<int> controllers = {3};
   int trials = 8;  ///< seeds base_seed .. base_seed+trials-1 per cell
   std::uint64_t base_seed = 1;
+  /// Generic config axes, crossed with topologies x controllers in
+  /// declaration order. Trial seeds depend only on (seed, topology,
+  /// controllers, trial) — axis points deliberately reuse them, so sweeps
+  /// are paired across axis values like the paper's repeated runs.
+  std::vector<Axis> axes;
 
   bool with_hosts = false;  ///< implied by any StartTraffic event
+  /// Calibrate per-topology link latency so the host-to-host RTT lands near
+  /// 16 ms (the Section 6.4.3 throughput setup: ~525 Mbit/s steady state
+  /// with a 1 MiB receive window on 1000 Mbit/s links).
+  bool calibrate_rtt = false;
+  /// Per-trial event budget (0 = unlimited): convergence checkpoints give
+  /// up once the simulator has executed this many events (Fig. 7).
+  std::uint64_t max_events = 0;
   std::vector<Event> events;
 
   bool operator==(const Scenario&) const = default;
@@ -75,7 +105,21 @@ struct Scenario {
   Scenario& corrupt_all(Time at);
   Scenario& freeze(Time at);
   Scenario& unfreeze(Time at);
-  Scenario& start_traffic(Time at);
+  /// Open the trial's traffic window (one per trial — the hosts' TCP
+  /// endpoints are single-flow). The label names the window in the campaign
+  /// report ("traffic" when empty); the flow starts at `at` (the data flow
+  /// is registered at build time so its rules install during bootstrap).
+  Scenario& start_traffic(Time at, std::string label = "");
+  /// Close the open traffic window: stop the sender, record the window's
+  /// per-second goodput/retransmission series and mean goodput.
+  Scenario& stop_traffic(Time at);
+  /// Fail a link on the current data path (blackhole for `detection`, then
+  /// permanently down) — the Figs. 15-20 mid-path failure.
+  Scenario& fail_path_link(Time at, Time detection = msec(150));
+  /// Add a generic sweep axis (or replace the values of an existing one).
+  /// Throws std::invalid_argument on unknown names, out-of-domain values,
+  /// or an empty value list — axis typos fail at build time, not mid-run.
+  Scenario& axis(const std::string& name, std::vector<double> values);
   /// Make the most recently added event periodic: `times` total occurrences
   /// spaced `period` apart. Throws std::logic_error without a prior event,
   /// std::invalid_argument on a non-positive period/count.

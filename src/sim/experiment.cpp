@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 
@@ -8,6 +9,50 @@
 #include "util/log.hpp"
 
 namespace ren::sim {
+
+namespace {
+
+long long integral_axis(const std::string& name, double value, long long min) {
+  const double r = std::round(value);
+  if (value != r || r < static_cast<double>(min)) {
+    throw std::invalid_argument("axis \"" + name + "\": value must be an " +
+                                "integer >= " + std::to_string(min));
+  }
+  return static_cast<long long>(r);
+}
+
+}  // namespace
+
+const std::vector<std::string>& axis_names() {
+  static const std::vector<std::string> names = {"kappa", "theta",
+                                                 "task_delay_ms", "link_loss"};
+  return names;
+}
+
+void apply_axis(ExperimentConfig& cfg, const std::string& name, double value) {
+  if (name == "kappa") {
+    cfg.kappa = static_cast<int>(integral_axis(name, value, 0));
+  } else if (name == "theta") {
+    cfg.theta = static_cast<int>(integral_axis(name, value, 1));
+  } else if (name == "task_delay_ms") {
+    if (!(value > 0)) {
+      throw std::invalid_argument("axis \"task_delay_ms\": value must be > 0");
+    }
+    cfg.task_delay = usec(std::llround(value * 1000.0));
+    // Keep the profile's 5:1 task:detect ratio with a 5 ms floor — the rule
+    // the Fig. 7 harness used (both timer profiles ship the same ratio).
+    cfg.detect_interval = std::max<Time>(msec(5), cfg.task_delay / 5);
+  } else if (name == "link_loss") {
+    if (!(value >= 0.0) || value >= 1.0) {
+      throw std::invalid_argument("axis \"link_loss\": value must be in [0, 1)");
+    }
+    cfg.link_loss = value;
+  } else {
+    std::string known;
+    for (const auto& n : axis_names()) known += " " + n;
+    throw std::invalid_argument("unknown axis \"" + name + "\"; known:" + known);
+  }
+}
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)),
@@ -186,6 +231,11 @@ Experiment::ConvergenceResult Experiment::run_until_legitimate(Time limit) {
     // cannot change (covers a fully drained queue, kTimeNever): stop now
     // instead of spinning the wall clock on a frozen simulated clock.
     if (sim_.next_event_time() > deadline) break;
+    // Event budget exhausted (Fig. 7's congestion ceiling): report the cap.
+    if (config_.max_events > 0 && sim_.events_executed() >= config_.max_events) {
+      result.last_reason = "event budget exhausted";
+      break;
+    }
   }
   result.seconds = to_seconds(sim_.now() - t0);
   for (std::size_t k = 0; k < controllers_.size(); ++k) {
@@ -282,6 +332,46 @@ std::pair<NodeId, NodeId> Experiment::pick_failover_link(
   return fallback;
 }
 
+core::Controller* Experiment::register_default_data_flow(
+    core::Controller* owner) {
+  if (host_a_ == nullptr || host_b_ == nullptr) {
+    throw std::logic_error(
+        "register_default_data_flow requires with_hosts=true");
+  }
+  if (owner == nullptr) {
+    for (auto* c : controllers_) {
+      if (c->alive()) {
+        owner = c;
+        break;
+      }
+    }
+  }
+  if (owner == nullptr) {
+    throw std::logic_error("register_default_data_flow: no live controller");
+  }
+  core::Controller::DataFlowSpec spec;
+  spec.host_a = host_a_->id();
+  spec.attach_a = host_a_->attach();
+  spec.host_b = host_b_->id();
+  spec.attach_b = host_b_->attach();
+  owner->register_data_flow(spec);
+  return owner;
+}
+
+std::pair<NodeId, NodeId> Experiment::fail_data_path_link(
+    Time detection_delay) {
+  const auto link = pick_failover_link(current_data_path());
+  if (link.first == kNoNode) return link;
+  // Blackhole first (port-down detection window), then hard failure.
+  sim_.set_link_state(link.first, link.second, net::LinkState::Blackhole);
+  sim_.schedule(detection_delay, [this, link] {
+    sim_.set_link_state(link.first, link.second, net::LinkState::PermanentDown);
+  });
+  REN_LOG(Info, "t=%.3fs failed link %d-%d", to_seconds(sim_.now()),
+          link.first, link.second);
+  return link;
+}
+
 Experiment::ThroughputResult Experiment::run_throughput(
     const ThroughputRun& run) {
   ThroughputResult result;
@@ -293,14 +383,9 @@ Experiment::ThroughputResult Experiment::run_throughput(
   const auto boot = run_until_legitimate(sec(300));
   if (!boot.converged) return result;
 
-  // 2. Controller 0 provisions the host<->host flow; wait until the rules
-  //    are walkable end-to-end.
-  core::Controller::DataFlowSpec spec;
-  spec.host_a = host_a_->id();
-  spec.attach_a = host_a_->attach();
-  spec.host_b = host_b_->id();
-  spec.attach_b = host_b_->attach();
-  controllers_.front()->register_data_flow(spec);
+  // 2. Provision the host<->host flow; wait until the rules are walkable
+  //    end-to-end.
+  register_default_data_flow();
   const Time install_deadline = sim_.now() + sec(30);
   while (sim_.now() < install_deadline && current_data_path().empty()) {
     sim_.run_until(sim_.now() + config_.task_delay);
@@ -318,20 +403,10 @@ Experiment::ThroughputResult Experiment::run_throughput(
   // 4. Schedule the mid-path link failure (freezing controllers first in
   //    the no-recovery variant of Fig. 16).
   sim_.schedule_at(t0 + run.fail_at, [this, &run, &result] {
-    const auto link = pick_failover_link(current_data_path());
-    result.failed_link = link;
-    if (link.first == kNoNode) return;
     if (!run.with_recovery) {
       for (auto* c : controllers_) c->set_frozen(true);
     }
-    // Blackhole first (port-down detection window), then hard failure.
-    sim_.set_link_state(link.first, link.second, net::LinkState::Blackhole);
-    sim_.schedule(run.detection_delay, [this, link] {
-      sim_.set_link_state(link.first, link.second,
-                          net::LinkState::PermanentDown);
-    });
-    REN_LOG(Info, "t=%.3fs failed link %d-%d", to_seconds(sim_.now()),
-            link.first, link.second);
+    result.failed_link = fail_data_path_link(run.detection_delay);
   });
 
   // 5. Run the measurement window and collect the per-second series.

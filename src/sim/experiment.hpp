@@ -65,7 +65,34 @@ struct ExperimentConfig {
   std::size_t max_managers = 64;
   bool with_hosts = false;            ///< attach a host pair at max distance
   bool check_rule_walk = true;        ///< monitor strictness
+  /// Event budget: run_until_legitimate additionally gives up once the
+  /// simulator has executed this many events in total (0 = unlimited). The
+  /// Fig. 7 sweep needs it — at tiny task delays a non-converging run
+  /// generates enormous event counts, and exhausting the budget *is* the
+  /// congestion ceiling the paper plots.
+  std::uint64_t max_events = 0;
 };
+
+// --- Scenario axes ------------------------------------------------------------
+// The generic campaign axes a scenario can sweep (scenario::Scenario::axes).
+// This is the single source of truth for axis names and their mapping onto
+// ExperimentConfig; the scenario spec parser validates against it so unknown
+// axes fail at parse time, and the campaign runner applies it per grid cell.
+//
+//   kappa          resilience parameter (integer >= 0)
+//   theta          failure-detector threshold (integer >= 1)
+//   task_delay_ms  do-forever pause; also rescales the discovery interval to
+//                  keep the profile's 5:1 task:detect ratio (5 ms floor),
+//                  matching the Fig. 7 harness
+//   link_loss      per-packet loss probability on every link, in [0, 1)
+
+/// Names accepted by apply_axis, in presentation order.
+[[nodiscard]] const std::vector<std::string>& axis_names();
+
+/// Apply one axis point to a config. Throws std::invalid_argument on an
+/// unknown axis name or an out-of-domain value (also used for validation:
+/// callers may apply to a scratch config at parse time).
+void apply_axis(ExperimentConfig& cfg, const std::string& name, double value);
 
 class Experiment {
  public:
@@ -130,6 +157,22 @@ class Experiment {
     std::pair<NodeId, NodeId> failed_link{kNoNode, kNoNode};
   };
   ThroughputResult run_throughput(const ThroughputRun& run);
+
+  /// Register the host_a <-> host_b data flow on `owner` (default: the
+  /// first *live* controller). Returns the owning controller. Throws
+  /// std::logic_error without hosts or without a live controller. The one
+  /// place the "who owns the default host-pair flow" policy lives — shared
+  /// by run_throughput and the scenario engine.
+  core::Controller* register_default_data_flow(
+      core::Controller* owner = nullptr);
+
+  /// Fail a link on the current host_a -> host_b data path (preferring, from
+  /// the middle outward, one the installed fast-failover rules survive
+  /// locally): blackhole now, permanent failure after `detection_delay` (the
+  /// port-down detection window). Returns the failed link, or
+  /// {kNoNode, kNoNode} when the path is empty or has no candidate edge.
+  /// Shared by run_throughput and the scenario engine's fail_path_link event.
+  std::pair<NodeId, NodeId> fail_data_path_link(Time detection_delay);
 
   /// The data path host_a -> host_b implied by the currently installed rules.
   [[nodiscard]] std::vector<NodeId> current_data_path();

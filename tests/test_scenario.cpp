@@ -92,6 +92,76 @@ TEST(ScenarioSpec, UnknownBuiltinThrows) {
   EXPECT_THROW(scenario::builtin("does_not_exist"), std::invalid_argument);
 }
 
+TEST(ScenarioSpec, LibrarySizeMatchesTheAdvertisedCount) {
+  // kBuiltinCount is the one written-down library size; the name list and
+  // the builtin() dispatch must stay in lockstep with it.
+  const auto names = scenario::builtin_names();
+  EXPECT_EQ(names.size(), scenario::kBuiltinCount);
+  for (const auto& n : names) {
+    EXPECT_EQ(scenario::builtin(n).name, n);
+  }
+}
+
+// --- Generic axes -----------------------------------------------------------
+
+TEST(ScenarioAxes, BuilderValidatesNamesAndValues) {
+  Scenario s;
+  s.axis("kappa", {1, 2, 3});  // ok
+  s.axis("task_delay_ms", {500, 0.5});  // fractional milliseconds are fine
+  s.axis("link_loss", {0.0, 0.01});
+  s.axis("theta", {10, 30});
+  EXPECT_THROW(s.axis("bogus_axis", {1}), std::invalid_argument);
+  EXPECT_THROW(s.axis("kappa", {}), std::invalid_argument);
+  EXPECT_THROW(s.axis("kappa", {1.5}), std::invalid_argument);
+  EXPECT_THROW(s.axis("kappa", {-1}), std::invalid_argument);
+  EXPECT_THROW(s.axis("theta", {0}), std::invalid_argument);
+  EXPECT_THROW(s.axis("task_delay_ms", {0}), std::invalid_argument);
+  EXPECT_THROW(s.axis("link_loss", {1.0}), std::invalid_argument);
+  EXPECT_THROW(s.axis("link_loss", {-0.1}), std::invalid_argument);
+  // Re-declaring an axis replaces its values instead of duplicating it.
+  s.axis("kappa", {4});
+  ASSERT_EQ(s.axes.size(), 4u);
+  EXPECT_EQ(s.axes[0].values, (std::vector<double>{4}));
+}
+
+TEST(ScenarioAxes, SpecRoundTripIsIdentity) {
+  Scenario s;
+  s.name = "axes";
+  s.axis("kappa", {1, 2}).axis("task_delay_ms", {500, 100, 20});
+  s.calibrate_rtt = true;
+  s.max_events = 8'000'000;
+  s.expect_converged(sec(0), "bootstrap", sec(30));
+  const std::string spec = scenario::to_spec_json(s).pretty();
+  const Scenario reparsed = scenario::parse_spec(spec);
+  EXPECT_EQ(s, reparsed);
+  // And the reparsed spec serializes to the same bytes.
+  EXPECT_EQ(scenario::to_spec_json(reparsed).pretty(), spec);
+}
+
+TEST(ScenarioAxes, SpecRejectsUnknownAxes) {
+  EXPECT_THROW(scenario::parse_spec(R"({"axes":{"warp_factor":[9]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec(R"({"axes":{"kappa":[]}})"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec(R"({"axes":{"link_loss":[2.0]}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, TrafficEventsSurviveRoundTrip) {
+  Scenario s;
+  s.name = "traffic";
+  s.expect_converged(sec(0), "bootstrap", sec(60));
+  s.start_traffic(sec(5), "window");
+  s.fail_path_link(sec(7), msec(200));
+  s.stop_traffic(sec(9));
+  s.calibrate_rtt = true;
+  const Scenario reparsed =
+      scenario::parse_spec(scenario::to_spec_json(s).dump());
+  EXPECT_EQ(s, reparsed);
+  EXPECT_TRUE(reparsed.needs_hosts());
+  EXPECT_EQ(reparsed.events[2].detection, msec(200));
+}
+
 TEST(ScenarioSpec, RejectsSeedsBeyondDoublePrecision) {
   Scenario s;
   s.base_seed = (1ULL << 53) + 1;  // not representable as a double
@@ -423,6 +493,156 @@ TEST(CampaignRunner, MergeRejectsBadInput) {
   EXPECT_THROW((void)scenario::merge_campaigns({shard1, alien}),
                std::invalid_argument);
   EXPECT_THROW((void)scenario::merge_campaigns({}), std::invalid_argument);
+}
+
+Scenario axes_scenario() {
+  Scenario s = quick_scenario();
+  s.name = "quick_axes";
+  s.topologies = {"B4"};
+  s.trials = 2;
+  s.axis("kappa", {1, 2}).axis("theta", {10, 30});
+  return s;
+}
+
+TEST(CampaignRunner, AxesExpandIntoCells) {
+  scenario::RunnerOptions opt;
+  opt.threads = 2;
+  const auto result = scenario::run_campaign(axes_scenario(), opt);
+  // 1 topology x 1 controller count x (2 kappa x 2 theta) = 4 cells.
+  ASSERT_EQ(result.cells.size(), 4u);
+  const scenario::AxisPoint expect0{{"kappa", 1}, {"theta", 10}};
+  const scenario::AxisPoint expect3{{"kappa", 2}, {"theta", 30}};
+  EXPECT_EQ(result.cells[0].axes, expect0);
+  EXPECT_EQ(result.cells[3].axes, expect3);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.trials, 2) << cell.topology;
+    EXPECT_EQ(cell.checkpoints.size(), 2u);
+  }
+  // The JSON keys each cell by its axis values.
+  const auto doc = Json::parse(result.to_json().pretty());
+  const auto& cells = doc.find("cells")->as_array();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1].find("axes")->find("kappa")->as_number(), 1);
+  EXPECT_EQ(cells[1].find("axes")->find("theta")->as_number(), 30);
+}
+
+TEST(CampaignRunner, AxesShardMergeIsByteIdentical) {
+  const Scenario s = axes_scenario();  // 4 cells x 2 trials = 8 grid points
+  scenario::RunnerOptions plain;
+  plain.threads = 2;
+  const std::string unsharded =
+      scenario::run_campaign(s, plain).to_json().pretty();
+  std::vector<Json> shards;
+  for (int k = 0; k < 3; ++k) {
+    scenario::RunnerOptions part = plain;
+    part.include_raw = true;
+    part.shard_index = k;
+    part.shard_count = 3;
+    shards.push_back(
+        Json::parse(scenario::run_campaign(s, part).to_json().pretty()));
+  }
+  EXPECT_EQ(scenario::merge_campaigns(shards).to_json().pretty(), unsharded);
+}
+
+TEST(CampaignRunner, TrafficWindowsAreRecordedAndMerged) {
+  // A bracketed traffic window with a mid-path failure, on the fast
+  // profile: the series and mean goodput must survive raw export + merge.
+  Scenario s;
+  s.name = "window_test";
+  s.topologies = {"B4"};
+  s.controllers = {3};
+  s.trials = 2;
+  s.expect_converged(sec(0), "bootstrap", sec(60));
+  s.start_traffic(sec(8), "win");
+  s.fail_path_link(sec(10));
+  s.stop_traffic(sec(12));
+
+  scenario::RunnerOptions opt;
+  opt.threads = 2;
+  const auto result = scenario::run_campaign(s, opt);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const auto& cell = result.cells[0];
+  ASSERT_TRUE(cell.errors.empty()) << cell.errors.front();
+  ASSERT_EQ(cell.windows.size(), 1u);
+  EXPECT_EQ(cell.windows[0].label, "win");
+  EXPECT_EQ(cell.windows[0].trials, 2);
+  // The window brackets [8s, 12s): exactly 4 per-second samples, goodput
+  // flowing in every one of them.
+  ASSERT_EQ(cell.windows[0].mbits_series.size(), 4u);
+  for (double v : cell.windows[0].mbits_series) EXPECT_GT(v, 0.0);
+  EXPECT_GT(cell.windows[0].mbits.mean, 0.0);
+  EXPECT_TRUE(cell.has_traffic);
+
+  // Shard + merge reproduces the report byte-for-byte, series included.
+  std::vector<Json> shards;
+  for (int k = 0; k < 2; ++k) {
+    scenario::RunnerOptions part = opt;
+    part.include_raw = true;
+    part.shard_index = k;
+    part.shard_count = 2;
+    shards.push_back(
+        Json::parse(scenario::run_campaign(s, part).to_json().pretty()));
+  }
+  EXPECT_EQ(scenario::merge_campaigns(shards).to_json().pretty(),
+            result.to_json().pretty());
+}
+
+TEST(CampaignRunner, TimelineMayContinueAfterStopTraffic) {
+  // Segments still in flight at the stop instant are delivered while the
+  // timeline keeps running (the closed window's stats stay alive), and the
+  // flow survives the build-time owner being killed before the window
+  // opens (it is re-registered on a survivor).
+  Scenario s;
+  s.name = "window_then_more";
+  s.topologies = {"B4"};
+  s.controllers = {3};
+  s.trials = 2;
+  s.expect_converged(sec(0), "bootstrap", sec(60));
+  s.kill_controller(sec(6));
+  s.expect_converged(sec(6), "degraded", sec(60));
+  s.start_traffic(sec(20), "win");
+  s.stop_traffic(sec(23));
+  s.fail_links(sec(25), 1);
+  s.expect_converged(sec(25), "settle", sec(60));
+  const auto result = scenario::run_campaign(s, {});
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_TRUE(result.cells[0].errors.empty())
+      << result.cells[0].errors.front();
+  ASSERT_EQ(result.cells[0].windows.size(), 1u);
+  EXPECT_GT(result.cells[0].windows[0].mbits.mean, 0.0);
+  EXPECT_EQ(result.cells[0].checkpoints.back().label, "settle");
+}
+
+TEST(CampaignRunner, SecondTrafficWindowFailsTheTrial) {
+  Scenario s;
+  s.name = "two_windows";
+  s.topologies = {"B4"};
+  s.controllers = {3};
+  s.trials = 1;
+  s.expect_converged(sec(0), "bootstrap", sec(60));
+  s.start_traffic(sec(5), "a");
+  s.stop_traffic(sec(7));
+  s.start_traffic(sec(9), "b");
+  const auto result = scenario::run_campaign(s, {});
+  ASSERT_EQ(result.cells[0].errors.size(), 1u);
+  EXPECT_NE(result.cells[0].errors[0].find("one traffic window"),
+            std::string::npos);
+}
+
+TEST(CampaignRunner, StopTrafficWithoutOpenWindowFailsTheTrial) {
+  Scenario s;
+  s.name = "bad_window";
+  s.topologies = {"B4"};
+  s.controllers = {3};
+  s.trials = 1;
+  s.with_hosts = true;
+  s.expect_converged(sec(0), "bootstrap", sec(60));
+  s.stop_traffic(sec(5));
+  const auto result = scenario::run_campaign(s, {});
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_EQ(result.cells[0].errors.size(), 1u);
+  EXPECT_NE(result.cells[0].errors[0].find("no open traffic window"),
+            std::string::npos);
 }
 
 TEST(CampaignRunner, RejectsBadShard) {

@@ -37,6 +37,10 @@ void usage(std::FILE* to) {
                "  --print-spec           print the scenario's JSON spec, don't run\n"
                "  --topologies A,B,...   override the topology axis\n"
                "  --controllers N,M,...  override the controller-count axis\n"
+               "  --axis NAME=V1,V2,...  add/override a generic config axis\n"
+               "                         (kappa, theta, task_delay_ms,\n"
+               "                         link_loss); repeatable, crossed with\n"
+               "                         the topology/controller grid\n"
                "  --trials N             seeded repetitions per grid cell\n"
                "  --seed S               campaign base seed\n"
                "  --threads N            worker threads (default: all cores)\n"
@@ -87,6 +91,7 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   std::string scenario_name, spec_path, out_path;
   std::string topologies_csv, controllers_csv;
+  std::vector<std::pair<std::string, std::vector<double>>> axis_overrides;
   std::vector<std::string> merge_inputs;
   int trials = 0, threads = 0;
   int shard_index = 0, shard_count = 1;
@@ -124,6 +129,26 @@ int main(int argc, char** argv) {
       topologies_csv = value();
     } else if (arg == "--controllers") {
       controllers_csv = value();
+    } else if (arg == "--axis") {
+      const std::string v = value();
+      const auto eq = v.find('=');
+      std::vector<double> values;
+      try {
+        if (eq == std::string::npos || eq == 0) throw std::invalid_argument(v);
+        for (const auto& item : split_csv(v.substr(eq + 1))) {
+          std::size_t used = 0;
+          values.push_back(std::stod(item, &used));
+          if (used != item.size()) throw std::invalid_argument(item);
+        }
+        if (values.empty()) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "--axis expects NAME=V1,V2,... (e.g. kappa=1,2,3), "
+                     "got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      axis_overrides.emplace_back(v.substr(0, eq), std::move(values));
     } else if (arg == "--trials") {
       trials = std::stoi(value());
     } else if (arg == "--seed") {
@@ -184,6 +209,7 @@ int main(int argc, char** argv) {
     // Campaign options do not constrain a merge; reject them instead of
     // silently producing a report the flags had no effect on.
     if (print_spec || !topologies_csv.empty() || !controllers_csv.empty() ||
+        !axis_overrides.empty() ||
         trials > 0 || have_seed || threads != 0 || shard_count != 1 ||
         include_raw || paranoid || paranoid_views || paranoid_batches ||
         paper_timers) {
@@ -245,6 +271,9 @@ int main(int argc, char** argv) {
       s.controllers.clear();
       for (const auto& c : split_csv(controllers_csv))
         s.controllers.push_back(std::stoi(c));
+    }
+    for (auto& [name, values] : axis_overrides) {
+      s.axis(name, std::move(values));  // validates names/values loudly
     }
     if (trials > 0) s.trials = trials;
     if (have_seed) s.base_seed = seed;
