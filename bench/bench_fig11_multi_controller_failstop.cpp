@@ -2,9 +2,10 @@
 // Telstra/AT&T/EBONE running 7 controllers. Paper observation: the number
 // of failed controllers does not correlate with the recovery time.
 //
-// Ported onto the scenario engine: one two-checkpoint campaign per
-// (network, kill count) — the victim count is an event parameter, not a
-// config axis — with the trials run in parallel by the campaign runner.
+// Runs as ONE campaign: the victim count is the "victims" scenario axis
+// (the kill event declares count = kCountAxis), so the 3 networks x 6 kill
+// counts x trials grid is a single parallel run instead of 18 sequential
+// campaigns.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -12,30 +13,29 @@ int main(int argc, char** argv) {
   const int trials = bench::trials_from_argv(argc, argv, 10);
   bench::print_header("Fig. 11 — recovery after k controller fail-stops",
                       "T1..T6, A1..A6, E1..E6 of the paper");
-  for (const char* net : {"Telstra", "ATT", "EBONE"}) {
-    for (int kills : {1, 2, 3, 4, 5, 6}) {
-      scenario::Scenario s;
-      s.name = "fig11_multi_controller_failstop";
-      s.description = "recovery after simultaneous controller fail-stops";
-      bench::paper_axes(s, trials);
-      s.topologies = {net};
-      s.controllers = {7};
-      s.expect_converged(sec(0), "bootstrap", sec(300));
-      s.kill_controller(sec(150), kills);
-      s.expect_converged(sec(150), "recovery", sec(300));
+  scenario::Scenario s;
+  s.name = "fig11_multi_controller_failstop";
+  s.description = "recovery after simultaneous controller fail-stops";
+  bench::paper_axes(s, trials);
+  s.topologies = {"Telstra", "ATT", "EBONE"};
+  s.controllers = {7};
+  s.axis("victims", {1, 2, 3, 4, 5, 6});
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+  s.kill_controller(sec(150), scenario::kCountAxis);
+  s.expect_converged(sec(150), "recovery", sec(300));
 
-      scenario::RunnerOptions opt;
-      opt.paper_timers = true;
-      opt.include_raw = true;
-      const auto result = scenario::run_campaign(s, opt);
-      Sample sample;
-      for (const auto& cell : result.cells) {
-        const Sample cs = bench::checkpoint_sample(cell, "recovery");
-        for (double v : cs.values()) sample.add(v);
-      }
-      bench::print_violin_row(std::string(1, net[0]) + std::to_string(kills),
-                              sample);
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  opt.include_raw = true;
+  const auto result = scenario::run_campaign(s, opt);
+  for (const auto& cell : result.cells) {
+    int kills = 0;
+    for (const auto& [name, value] : cell.axes) {
+      if (name == "victims") kills = static_cast<int>(value);
     }
+    bench::print_violin_row(
+        std::string(1, cell.topology[0]) + std::to_string(kills),
+        bench::checkpoint_sample(cell, "recovery"));
   }
   return 0;
 }

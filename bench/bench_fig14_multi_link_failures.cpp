@@ -2,9 +2,10 @@
 // Paper observation: the number of simultaneous failures plays no
 // significant role in the recovery time.
 //
-// Ported onto the scenario engine: one two-checkpoint campaign per failure
-// count (the count is an event parameter), each swept over the paper
-// topologies by the parallel campaign runner.
+// Runs as ONE campaign: the failure count is the "victims" scenario axis
+// (the fail event declares count = kCountAxis), so the 5 networks x 3
+// failure counts x trials grid is a single parallel run instead of 15
+// sequential campaigns.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -12,29 +13,27 @@ int main(int argc, char** argv) {
   const int trials = bench::trials_from_argv(argc, argv, 10);
   bench::print_header("Fig. 14 — recovery after multiple link failures",
                       "B2..E6 columns of the paper");
-  for (const auto& t : topo::paper_topologies()) {
-    for (int count : {2, 4, 6}) {
-      scenario::Scenario s;
-      s.name = "fig14_multi_link_failures";
-      s.description = "recovery after simultaneous permanent link failures";
-      bench::paper_axes(s, trials);
-      s.topologies = {t.name};
-      s.expect_converged(sec(0), "bootstrap", sec(300));
-      s.fail_links(sec(150), count);
-      s.expect_converged(sec(150), "recovery", sec(300));
+  scenario::Scenario s;
+  s.name = "fig14_multi_link_failures";
+  s.description = "recovery after simultaneous permanent link failures";
+  bench::paper_axes(s, trials);
+  s.axis("victims", {2, 4, 6});
+  s.expect_converged(sec(0), "bootstrap", sec(300));
+  s.fail_links(sec(150), scenario::kCountAxis);
+  s.expect_converged(sec(150), "recovery", sec(300));
 
-      scenario::RunnerOptions opt;
-      opt.paper_timers = true;
-      opt.include_raw = true;
-      const auto result = scenario::run_campaign(s, opt);
-      Sample sample;
-      for (const auto& cell : result.cells) {
-        const Sample cs = bench::checkpoint_sample(cell, "recovery");
-        for (double v : cs.values()) sample.add(v);
-      }
-      bench::print_violin_row(
-          std::string(1, t.name[0]) + std::to_string(count), sample);
+  scenario::RunnerOptions opt;
+  opt.paper_timers = true;
+  opt.include_raw = true;
+  const auto result = scenario::run_campaign(s, opt);
+  for (const auto& cell : result.cells) {
+    int count = 0;
+    for (const auto& [name, value] : cell.axes) {
+      if (name == "victims") count = static_cast<int>(value);
     }
+    bench::print_violin_row(
+        std::string(1, cell.topology[0]) + std::to_string(count),
+        bench::checkpoint_sample(cell, "recovery"));
   }
   return 0;
 }

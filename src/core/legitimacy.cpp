@@ -65,6 +65,30 @@ const flows::TopoView& LegitimacyMonitor::true_view() const {
   return truth_;
 }
 
+int LegitimacyMonitor::achievable_kappa() {
+  const std::uint64_t topo = sim_.network().epoch();
+  if (kappa_valid_ && kappa_epoch_ == topo) return achievable_kappa_;
+  // Compact the true fabric into an index-dense Graph (node ids go sparse
+  // once nodes die) and hand it to the oracle — whose fingerprint check
+  // keeps all certificate state when e.g. only liveness flapped back.
+  const flows::TopoView& truth = true_view();
+  std::map<NodeId, int> index;  // std::map: sorted, deterministic indices
+  for (const auto& [n, nbrs] : truth.adj()) {
+    (void)nbrs;
+    index.emplace(n, static_cast<int>(index.size()));
+  }
+  flows::Graph g(static_cast<int>(index.size()));
+  for (const auto& [n, nbrs] : truth.adj()) {
+    const int u = index.at(n);
+    for (NodeId v : nbrs) g.add_edge(u, index.at(v));
+  }
+  oracle_.assign(g);
+  achievable_kappa_ = std::max(0, oracle_.edge_connectivity() - 1);
+  kappa_epoch_ = topo;
+  kappa_valid_ = true;
+  return achievable_kappa_;
+}
+
 std::uint64_t LegitimacyMonitor::stack_epoch() const {
   // Sum of monotonic counters: strictly increases whenever any one bumps.
   std::uint64_t e = sim_.network().epoch();

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "flows/connectivity.hpp"
 #include "flows/graph.hpp"
 #include "flows/my_rules.hpp"
 #include "net/simulator.hpp"
@@ -99,6 +100,20 @@ class LegitimacyMonitor {
   /// epoch; the reference is valid until the next topology change.
   [[nodiscard]] const flows::TopoView& true_view() const;
 
+  /// The largest kappa the *current* real fabric could support:
+  /// lambda(Gc) - 1, since a kappa-fault-resilient flow needs kappa+1
+  /// edge-disjoint paths. Cached per topology epoch on an incremental
+  /// connectivity oracle, so sampling an unchanged fabric is O(1) and a
+  /// changed fabric pays one sparse evaluation (no n x n residual exists
+  /// anywhere in this path). Degradation diagnostics — e.g. the B4
+  /// cascading-failure investigation — compare it against Config::kappa.
+  [[nodiscard]] int achievable_kappa();
+
+  /// Work counters of the connectivity oracle behind achievable_kappa().
+  [[nodiscard]] const flows::ConnectivityOracle::Stats& oracle_stats() const {
+    return oracle_.stats();
+  }
+
   [[nodiscard]] std::vector<Controller*> live_controllers() const;
   [[nodiscard]] std::vector<switchd::AbstractSwitch*> live_switches() const;
 
@@ -139,6 +154,12 @@ class LegitimacyMonitor {
   mutable bool truth_valid_ = false;
   mutable std::uint64_t truth_epoch_ = 0;
   mutable flows::TopoView truth_;
+
+  // Connectivity certificate over the true fabric (achievable_kappa).
+  flows::ConnectivityOracle oracle_;
+  bool kappa_valid_ = false;
+  std::uint64_t kappa_epoch_ = 0;
+  int achievable_kappa_ = 0;
 
   // cid -> (controller epoch, topology epoch) of the last passing compare.
   std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> views_ok_;

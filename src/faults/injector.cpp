@@ -142,24 +142,20 @@ NodeId kill_random_switch(ControlPlane& cp, Rng& rng) {
     candidates.push_back(s);
   }
   rng.shuffle(candidates);
+  // The live topology does not change while probing candidates, so build it
+  // once; each candidate only needs the "what if this switch vanished" copy
+  // (the per-candidate rebuild made one kill O(candidates x edges)).
+  const flows::TopoView current = control_topology(cp);
   for (auto* s : candidates) {
-    // Simulate removal on a copy of the control topology.
-    flows::TopoView view;
-    const auto ids = live_control_ids(cp);
-    for (NodeId n : ids) {
-      if (n != s->id()) view.add_node(n);
-    }
-    const net::Network& net = cp.sim->network();
-    for (NodeId n : ids) {
+    flows::TopoView probe;
+    for (const auto& [n, nbrs] : current.adj()) {
       if (n == s->id()) continue;
-      for (const auto& e : net.adjacency(n)) {
-        if (net.link(e.link).state() == net::LinkState::PermanentDown) continue;
-        if (e.neighbor == s->id()) continue;
-        if (!std::binary_search(ids.begin(), ids.end(), e.neighbor)) continue;
-        view.add_edge(n, e.neighbor);
+      probe.add_node(n);
+      for (NodeId v : nbrs) {
+        if (v != s->id()) probe.add_edge(n, v);
       }
     }
-    if (view_connected(view)) {
+    if (view_connected(probe)) {
       kill_node(cp, s->id());
       return s->id();
     }
@@ -192,9 +188,12 @@ std::pair<NodeId, NodeId> fail_random_link(ControlPlane& cp, Rng& rng,
     }
   }
   rng.shuffle(candidates);
+  // One live-topology build for the whole probe loop — rebuilding it per
+  // candidate made a single link failure O(candidates x edges) and dominated
+  // fault injection on 1k-node fabrics.
+  const flows::TopoView view = control_topology(cp);
   for (const auto& [a, b] : candidates) {
     if (keep_connected) {
-      flows::TopoView view = control_topology(cp);
       // Rebuild without this edge.
       flows::TopoView probe;
       for (const auto& [n, nbrs] : view.adj()) {

@@ -4,6 +4,8 @@
 #include <deque>
 #include <set>
 
+#include "flows/connectivity.hpp"
+
 namespace ren::flows {
 
 // --- Graph ------------------------------------------------------------------
@@ -73,71 +75,44 @@ int Graph::diameter() const {
   return best;
 }
 
-namespace {
-
-// Unit-capacity max-flow via repeated BFS augmentation (Edmonds-Karp on the
-// residual multigraph). Graph ids are index-dense, so the residual
-// capacities live in a flat n x n array — a per-edge lookup is one indexed
-// load instead of a std::map<std::pair,int> search, which removed a log
-// factor from every BFS step of edge_connectivity() (n-1 max-flows, each
-// touching every edge per augmentation).
-int unit_max_flow(const Graph& g, int s, int t, int cap_limit) {
-  const auto n = static_cast<std::size_t>(g.n());
-  std::vector<std::int16_t> cap(n * n, 0);
-  auto at = [n](int u, int v) -> std::size_t {
-    return static_cast<std::size_t>(u) * n + static_cast<std::size_t>(v);
-  };
-  for (int u = 0; u < g.n(); ++u) {
-    for (int v : g.neighbors(u)) cap[at(u, v)] = 1;
-  }
-  int flow = 0;
-  std::vector<int> parent(n);
-  std::vector<int> queue;
-  queue.reserve(n);
-  while (flow < cap_limit) {
-    std::fill(parent.begin(), parent.end(), -1);
-    parent[static_cast<std::size_t>(s)] = s;
-    queue.clear();
-    queue.push_back(s);
-    for (std::size_t head = 0;
-         head < queue.size() && parent[static_cast<std::size_t>(t)] < 0;
-         ++head) {
-      const int u = queue[head];
-      for (int v : g.neighbors(u)) {
-        if (parent[static_cast<std::size_t>(v)] < 0 && cap[at(u, v)] > 0) {
-          parent[static_cast<std::size_t>(v)] = u;
-          queue.push_back(v);
-        }
-      }
-    }
-    if (parent[static_cast<std::size_t>(t)] < 0) break;
-    for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
-      const int u = parent[static_cast<std::size_t>(v)];
-      cap[at(u, v)] -= 1;
-      cap[at(v, u)] += 1;
-    }
-    ++flow;
-  }
-  return flow;
-}
-
-}  // namespace
-
 int Graph::edge_disjoint_path_count(int s, int t) const {
   if (s == t) return 0;
-  return unit_max_flow(*this, s, t, n());
+  SparseMaxFlow flow(*this);
+  return flow.run(s, t, n());
 }
 
 int Graph::edge_connectivity() const {
   if (n() < 2) return 0;
   if (!connected()) return 0;
-  // lambda(G) = min over t != 0 of maxflow(0, t).
-  int best = n();
-  for (int t = 1; t < n(); ++t) {
-    best = std::min(best, edge_disjoint_path_count(0, t));
-    if (best == 0) break;
+  // lambda(G) = min over t != 0 of maxflow(0, t): every cut separates node 0
+  // from some t. One SparseMaxFlow instance serves all n-1 runs (a run only
+  // resets the O(m) residual capacities), and each run is capped at the
+  // running minimum — a flow can't raise the min, so pushing past the best
+  // known cut is wasted work. deg(0) seeds the bound.
+  SparseMaxFlow flow(*this);
+  int best = static_cast<int>(neighbors(0).size());
+  for (int t = 1; t < n() && best > 0; ++t) {
+    best = std::min(best, flow.run(0, t, best));
   }
   return best;
+}
+
+std::uint64_t Graph::fingerprint() const {
+  // FNV-1a over the sorted adjacency structure, node count included so that
+  // isolated trailing nodes change the hash.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(n()));
+  for (int u = 0; u < n(); ++u) {
+    mix(static_cast<std::uint64_t>(u) + 0x9e37);
+    for (int v : adj_[static_cast<std::size_t>(u)]) {
+      mix(static_cast<std::uint64_t>(v) + 0x85eb);
+    }
+  }
+  return h;
 }
 
 // --- TopoView ---------------------------------------------------------------

@@ -45,6 +45,10 @@ class Graph {
   /// Max number of edge-disjoint paths between s and t (unit-cap max-flow).
   [[nodiscard]] int edge_disjoint_path_count(int s, int t) const;
 
+  /// Stable content hash (FNV-1a over the sorted adjacency). Used to key
+  /// connectivity-certificate caches on a specific graph version.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   friend bool operator==(const Graph&, const Graph&) = default;
 
  private:

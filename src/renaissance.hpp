@@ -10,6 +10,7 @@
 #include "core/legitimacy.hpp"        // Definition 1 checker
 #include "detect/theta_detector.hpp"  // local topology discovery
 #include "faults/injector.hpp"        // benign + transient fault injection
+#include "flows/connectivity.hpp"     // sparse max-flow + certificate cache
 #include "flows/graph.hpp"            // topology views & graph algorithms
 #include "flows/my_rules.hpp"         // kappa-fault-resilient rule compiler
 #include "flows/resilient_paths.hpp"  // verification helpers
@@ -22,6 +23,9 @@
 #include "switchd/abstract_switch.hpp"  // the abstract SDN switch
 #include "tags/tag_generator.hpp"     // bounded round tags
 #include "tcp/host.hpp"               // data-plane hosts + TCP Reno
+#include "topo/generators.hpp"        // fat-tree / random-WAN generators
+#include "topo/loaders.hpp"           // Rocketfuel / GraphML / edge-list files
+#include "topo/source.hpp"            // topology spec registry (resolve)
 #include "topo/topologies.hpp"        // the five paper topologies
 #include "transport/endpoint.hpp"     // self-stabilizing end-to-end channel
 #include "util/stats.hpp"             // violin summaries, Pearson r

@@ -9,7 +9,7 @@
 #include "faults/injector.hpp"
 #include "sim/experiment.hpp"
 #include "tcp/host.hpp"
-#include "topo/topologies.hpp"
+#include "topo/source.hpp"
 #include "util/rng.hpp"
 
 namespace ren::scenario {
@@ -58,7 +58,7 @@ sim::ExperimentConfig profile_config(const Scenario& s,
     // The Section 6.4.3 throughput setup: per-topology latency so the
     // host-to-host RTT lands near 16 ms (the hosts sit at diameter + 2
     // hops from each other, counting the attach edges).
-    const int diameter = topo::by_name(topology).expected_diameter;
+    const int diameter = topo::resolve(topology).expected_diameter;
     cfg.link_latency = 16'000 / (2 * (diameter + 2));
   }
   cfg.max_events = s.max_events;
@@ -174,16 +174,28 @@ class TrialExecutor {
   }
 
  private:
+  /// Victim count of a Kill*/FailLinks event: literal, or — for
+  /// "count": "axis" — the grid cell's victims axis value.
+  [[nodiscard]] int victim_count(const Event& ev) const {
+    if (ev.count != kCountAxis) return ev.count;
+    const int v = exp_->config().victims;
+    if (v < 1) {
+      throw std::logic_error(
+          "event with count \"axis\" needs a \"victims\" axis in the campaign");
+    }
+    return v;
+  }
+
   void apply(const Event& ev, TrialOutcome& out) {
     switch (ev.kind) {
       case EventKind::KillController:
-        faults::kill_random_controllers(cp_, fault_rng_, ev.count);
+        faults::kill_random_controllers(cp_, fault_rng_, victim_count(ev));
         break;
       case EventKind::KillSwitches:
-        faults::kill_random_switches(cp_, fault_rng_, ev.count);
+        faults::kill_random_switches(cp_, fault_rng_, victim_count(ev));
         break;
       case EventKind::FailLinks:
-        faults::fail_random_links(cp_, fault_rng_, ev.count,
+        faults::fail_random_links(cp_, fault_rng_, victim_count(ev),
                                   ev.keep_connected);
         break;
       case EventKind::RestoreLinks:
@@ -364,7 +376,20 @@ TrialOutcome run_trial(const Scenario& s, const std::string& topology,
 }
 
 CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
-  for (const auto& t : s.topologies) (void)topo::by_name(t);  // validate early
+  for (const auto& t : s.topologies) topo::validate_spec(t);  // validate early
+  // An event taking its victim count from the grid needs the axis to exist —
+  // fail the campaign up front, not per trial.
+  const bool uses_count_axis =
+      std::any_of(s.events.begin(), s.events.end(),
+                  [](const Event& e) { return e.count == kCountAxis; });
+  const bool has_victims_axis =
+      std::any_of(s.axes.begin(), s.axes.end(),
+                  [](const Axis& a) { return a.name == "victims"; });
+  if (uses_count_axis && !has_victims_axis) {
+    throw std::invalid_argument(
+        "run_campaign: an event uses count \"axis\" but the scenario has no "
+        "\"victims\" axis");
+  }
   if (opt.shard_count < 1 || opt.shard_index < 0 ||
       opt.shard_index >= opt.shard_count) {
     throw std::invalid_argument("run_campaign: shard must satisfy 0 <= k < n");

@@ -43,6 +43,14 @@ Event make_event(Time at, EventKind kind) {
   return e;
 }
 
+int checked_count(int count) {
+  if (count < 1 && count != kCountAxis) {
+    throw std::invalid_argument(
+        "Scenario: event count must be >= 1 or kCountAxis");
+  }
+  return count;
+}
+
 }  // namespace
 
 Scenario& Scenario::expect_converged(Time at, std::string label, Time limit) {
@@ -55,21 +63,21 @@ Scenario& Scenario::expect_converged(Time at, std::string label, Time limit) {
 
 Scenario& Scenario::kill_controller(Time at, int count) {
   Event e = make_event(at, EventKind::KillController);
-  e.count = count;
+  e.count = checked_count(count);
   events.push_back(e);
   return *this;
 }
 
 Scenario& Scenario::kill_switches(Time at, int count) {
   Event e = make_event(at, EventKind::KillSwitches);
-  e.count = count;
+  e.count = checked_count(count);
   events.push_back(e);
   return *this;
 }
 
 Scenario& Scenario::fail_links(Time at, int count, bool keep_connected) {
   Event e = make_event(at, EventKind::FailLinks);
-  e.count = count;
+  e.count = checked_count(count);
   e.keep_connected = keep_connected;
   events.push_back(e);
   return *this;
@@ -235,13 +243,20 @@ Json to_spec_json(const Scenario& s) {
     Json ev;
     ev.set("at_ms", e.at / 1000);
     ev.set("kind", to_string(e.kind));
+    auto set_count = [&ev](int count) {
+      if (count == kCountAxis) {
+        ev.set("count", "axis");
+      } else {
+        ev.set("count", count);
+      }
+    };
     switch (e.kind) {
       case EventKind::KillController:
       case EventKind::KillSwitches:
-        ev.set("count", e.count);
+        set_count(e.count);
         break;
       case EventKind::FailLinks:
-        ev.set("count", e.count);
+        set_count(e.count);
         if (!e.keep_connected) ev.set("keep_connected", false);
         break;
       case EventKind::StartTraffic:
@@ -291,6 +306,75 @@ std::uint64_t spec_uint(const Json& doc, const char* key, std::uint64_t dflt,
   return static_cast<std::uint64_t>(v);
 }
 
+/// Required integer parameter of an object-form topology entry.
+long long topo_int(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Number) {
+    throw std::runtime_error(std::string("spec: topology object needs a "
+                                         "numeric \"") + key + "\"");
+  }
+  return static_cast<long long>(v->as_number());
+}
+
+/// Canonicalize one "topologies" entry: plain strings pass through (they are
+/// already the topo::resolve() grammar); object form maps onto it:
+///   {"kind": "builtin", "name": "B4"}
+///   {"kind": "fat_tree", "k": 16}
+///   {"kind": "random_wan", "nodes": 1024, "m": 2, "seed": 1}
+///   {"kind": "isp", "nodes": 120, "diameter": 9, "seed": 1}
+///   {"kind": "file", "path": "maps/1755.cch", "format": "rocketfuel"}
+std::string topology_spec_from_json(const Json& v) {
+  if (v.kind() == Json::Kind::String) return v.as_string();
+  if (!v.is_object()) {
+    throw std::runtime_error(
+        "spec: each topology must be a spec string or an object with a "
+        "\"kind\"");
+  }
+  const std::string kind = v.string_or("kind", "");
+  if (kind == "builtin") {
+    reject_unknown_keys(v, {"kind", "name"}, "topology");
+    const std::string name = v.string_or("name", "");
+    if (name.empty()) {
+      throw std::runtime_error("spec: builtin topology needs a \"name\"");
+    }
+    return name;
+  }
+  if (kind == "fat_tree") {
+    reject_unknown_keys(v, {"kind", "k"}, "topology");
+    return "fat_tree:k=" + std::to_string(topo_int(v, "k"));
+  }
+  if (kind == "random_wan") {
+    reject_unknown_keys(v, {"kind", "nodes", "m", "seed"}, "topology");
+    std::string spec = "random_wan:nodes=" + std::to_string(topo_int(v, "nodes"));
+    if (v.find("m") != nullptr) spec += ",m=" + std::to_string(topo_int(v, "m"));
+    if (v.find("seed") != nullptr) {
+      spec += ",seed=" + std::to_string(topo_int(v, "seed"));
+    }
+    return spec;
+  }
+  if (kind == "isp") {
+    reject_unknown_keys(v, {"kind", "nodes", "diameter", "seed"}, "topology");
+    std::string spec = "isp:nodes=" + std::to_string(topo_int(v, "nodes")) +
+                       ",diameter=" + std::to_string(topo_int(v, "diameter"));
+    if (v.find("seed") != nullptr) {
+      spec += ",seed=" + std::to_string(topo_int(v, "seed"));
+    }
+    return spec;
+  }
+  if (kind == "file") {
+    reject_unknown_keys(v, {"kind", "path", "format"}, "topology");
+    const std::string path = v.string_or("path", "");
+    if (path.empty()) {
+      throw std::runtime_error("spec: file topology needs a \"path\"");
+    }
+    const std::string format = v.string_or("format", "");
+    return (format.empty() ? "file" : format) + ":" + path;
+  }
+  throw std::runtime_error(
+      "spec: unknown topology kind \"" + kind +
+      "\" (want builtin, fat_tree, random_wan, isp, or file)");
+}
+
 }  // namespace
 
 Scenario parse_spec_json(const Json& doc) {
@@ -304,7 +388,9 @@ Scenario parse_spec_json(const Json& doc) {
   s.description = doc.string_or("description", "");
   if (const Json* t = doc.find("topologies")) {
     s.topologies.clear();
-    for (const Json& v : t->as_array()) s.topologies.push_back(v.as_string());
+    for (const Json& v : t->as_array()) {
+      s.topologies.push_back(topology_spec_from_json(v));
+    }
   }
   if (const Json* c = doc.find("controllers")) {
     s.controllers.clear();
@@ -333,7 +419,20 @@ Scenario parse_spec_json(const Json& doc) {
       Event e;
       e.at = msec(static_cast<std::int64_t>(ej.number_or("at_ms", 0)));
       e.kind = event_kind_from_string(ej.string_or("kind", ""));
-      e.count = static_cast<int>(ej.number_or("count", 1));
+      if (const Json* cj = ej.find("count")) {
+        if (cj->kind() == Json::Kind::String) {
+          if (cj->as_string() != "axis") {
+            throw std::runtime_error(
+                "spec: \"count\" must be a number or the string \"axis\"");
+          }
+          e.count = kCountAxis;
+        } else {
+          e.count = static_cast<int>(cj->as_number());
+          if (e.count < 1) {
+            throw std::runtime_error("spec: \"count\" must be >= 1");
+          }
+        }
+      }
       e.keep_connected = ej.bool_or("keep_connected", true);
       e.limit =
           msec(static_cast<std::int64_t>(ej.number_or("limit_ms", 120'000)));

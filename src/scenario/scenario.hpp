@@ -36,10 +36,18 @@ enum class EventKind {
 /// Inverse of to_string; throws std::invalid_argument on unknown names.
 [[nodiscard]] EventKind event_kind_from_string(const std::string& s);
 
+/// Sentinel for Event::count: the victim count comes from the campaign's
+/// "victims" axis (sim::ExperimentConfig::victims) instead of the event —
+/// multi-failure sweeps (Figs. 11/14) run as one campaign. Spec form:
+/// "count": "axis".
+inline constexpr int kCountAxis = -1;
+
 struct Event {
   Time at = 0;
   EventKind kind = EventKind::ExpectConverged;
-  int count = 1;               ///< Kill*/FailLinks victim count
+  /// Kill*/FailLinks victim count, or kCountAxis to take the value from the
+  /// campaign's "victims" axis per grid cell.
+  int count = 1;
   bool keep_connected = true;  ///< FailLinks: honor the paper's assumption
   Time limit = sec(120);       ///< ExpectConverged wait bound
   std::string label;           ///< ExpectConverged checkpoint / traffic window
@@ -59,7 +67,8 @@ struct Event {
 
 /// One generic sweep axis: a named ExperimentConfig parameter and the values
 /// the campaign crosses with the topology x controllers x seed grid. Valid
-/// names are sim::axis_names() (kappa, theta, task_delay_ms, link_loss).
+/// names are sim::axis_names() (kappa, theta, task_delay_ms, link_loss,
+/// victims).
 struct Axis {
   std::string name;
   std::vector<double> values;
@@ -72,6 +81,11 @@ struct Scenario {
   std::string description;
 
   // --- Campaign axes ------------------------------------------------------
+  /// Topology specs resolved by topo::resolve(): paper builtin names plus
+  /// "fat_tree:k=K", "random_wan:nodes=N[,m=M][,seed=S]",
+  /// "isp:nodes=N,diameter=D[,seed=S]" and "file:PATH". The JSON spec also
+  /// accepts object form ({"kind": "fat_tree", "k": 16}), canonicalized to
+  /// these strings at parse time.
   std::vector<std::string> topologies = {"B4", "Clos", "Telstra"};
   std::vector<int> controllers = {3};
   int trials = 8;  ///< seeds base_seed .. base_seed+trials-1 per cell

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "flows/resilient_paths.hpp"
+#include "topo/source.hpp"
 #include "util/log.hpp"
 
 namespace ren::sim {
@@ -24,8 +25,8 @@ long long integral_axis(const std::string& name, double value, long long min) {
 }  // namespace
 
 const std::vector<std::string>& axis_names() {
-  static const std::vector<std::string> names = {"kappa", "theta",
-                                                 "task_delay_ms", "link_loss"};
+  static const std::vector<std::string> names = {
+      "kappa", "theta", "task_delay_ms", "link_loss", "victims"};
   return names;
 }
 
@@ -47,6 +48,8 @@ void apply_axis(ExperimentConfig& cfg, const std::string& name, double value) {
       throw std::invalid_argument("axis \"link_loss\": value must be in [0, 1)");
     }
     cfg.link_loss = value;
+  } else if (name == "victims") {
+    cfg.victims = static_cast<int>(integral_axis(name, value, 1));
   } else {
     std::string known;
     for (const auto& n : axis_names()) known += " " + n;
@@ -56,7 +59,7 @@ void apply_axis(ExperimentConfig& cfg, const std::string& name, double value) {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)),
-      topo_(topo::by_name(config_.topology)),
+      topo_(topo::resolve(config_.topology)),
       sim_(config_.seed),
       fault_rng_(config_.seed ^ 0xfa17fa17ULL) {
   build();

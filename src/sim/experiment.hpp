@@ -24,9 +24,15 @@
 namespace ren::sim {
 
 struct ExperimentConfig {
-  std::string topology = "B4";  ///< B4, Clos, Telstra, ATT, EBONE
+  std::string topology = "B4";  ///< any topo::resolve() spec: a paper name
+                                ///< (B4, Clos, ...), "fat_tree:k=16",
+                                ///< "random_wan:nodes=1024", "file:PATH", ...
   int controllers = 3;
   int kappa = 2;
+  /// Victim count consumed by scenario events that declare "count": "axis"
+  /// (how many controllers/switches/links one injection hits). 0 = unset;
+  /// such events throw when no victims axis point is in effect.
+  int victims = 0;
   Time task_delay = msec(500);        ///< paper Section 6.3 default
   Time detect_interval = msec(100);
   int theta = 10;                     ///< 10 small nets, 30 large (paper)
@@ -85,6 +91,8 @@ struct ExperimentConfig {
 //                  keep the profile's 5:1 task:detect ratio (5 ms floor),
 //                  matching the Fig. 7 harness
 //   link_loss      per-packet loss probability on every link, in [0, 1)
+//   victims        per-injection victim count for events with "count": "axis"
+//                  (integer >= 1)
 
 /// Names accepted by apply_axis, in presentation order.
 [[nodiscard]] const std::vector<std::string>& axis_names();

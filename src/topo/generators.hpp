@@ -1,0 +1,29 @@
+// Parametric topology generators for scale-out experiments.
+//
+// Both generators are deterministic: the same parameters (and seed) produce
+// the same Graph bit-for-bit on every platform, because all randomness flows
+// through ren::Rng (xoshiro256**, fixed algorithm) and adjacency lists
+// are kept sorted by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topologies.hpp"
+
+namespace ren::topo {
+
+/// Three-stage folded-Clos fat-tree with parameter k (even, 4..64):
+/// k pods of k/2 edge + k/2 aggregation switches plus (k/2)^2 cores —
+/// 5k^2/4 switches total (k=8: 80, k=16: 320, k=32: 1280), diameter 4.
+/// Hosts are not modeled; ids are edge [0, k^2/2), aggregation [k^2/2, k^2),
+/// core [k^2, 5k^2/4). Throws std::invalid_argument for invalid k.
+Topology make_fat_tree(int k);
+
+/// Seeded random WAN: a `m+1`-node seed cycle grown by preferential
+/// attachment, each new node linking to `m` distinct existing nodes chosen
+/// degree-proportionally. Connected and 2-edge-connected by construction
+/// (every node starts on a cycle through its first two attachments).
+/// Requires nodes >= m + 1 >= 3. expected_diameter is measured, not a target.
+Topology make_random_wan(int nodes, int m, std::uint64_t seed);
+
+}  // namespace ren::topo

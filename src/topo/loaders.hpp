@@ -1,0 +1,45 @@
+// File loaders for real-world topology datasets.
+//
+// Three formats:
+//  * Rocketfuel ISP maps (.cch) — "uid ... -> <nuid> <nuid> ..." router
+//    adjacency; external links ("{-euid}") and negative-uid external routers
+//    are skipped, matching how the paper's Table 8 uses the backbone maps.
+//  * Topology Zoo GraphML (.graphml/.xml) — <node id="..."/> and
+//    <edge source="..." target="..."/> elements, scanned with a minimal
+//    tag parser (no XML library dependency).
+//  * Plain edge lists — one "A B" pair per line, '#' comments.
+//
+// Common semantics, applied by every loader:
+//  * arbitrary node identifiers are remapped to dense ids 0..n-1 in sorted
+//    order of the original identifier (deterministic across runs);
+//  * self-loops are rejected (throw), duplicate edges are coalesced;
+//  * malformed, truncated, or edge-free input throws std::runtime_error;
+//  * when the map is disconnected, the largest connected component is kept
+//    (ties broken toward the smaller minimum original identifier) — the
+//    simulation needs one fabric, and real Rocketfuel maps carry debris.
+#pragma once
+
+#include <string>
+
+#include "topo/topologies.hpp"
+
+namespace ren::topo {
+
+/// Parse Rocketfuel .cch content. `name` labels the resulting Topology.
+Topology parse_rocketfuel(const std::string& text, const std::string& name);
+
+/// Parse Topology Zoo GraphML content.
+Topology parse_graphml(const std::string& text, const std::string& name);
+
+/// Parse a plain "A B" edge list ('#' starts a comment).
+Topology parse_edgelist(const std::string& text, const std::string& name);
+
+/// Load `path`, dispatching on extension: .cch -> Rocketfuel,
+/// .graphml/.xml -> GraphML, anything else -> edge list. Throws
+/// std::runtime_error when the file is missing or malformed.
+Topology load_file(const std::string& path);
+
+/// Load `path` with an explicit format: "rocketfuel", "graphml", "edgelist".
+Topology load_file_as(const std::string& path, const std::string& format);
+
+}  // namespace ren::topo

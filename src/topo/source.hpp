@@ -1,0 +1,54 @@
+// TopologySource registry: one string grammar naming every fabric the stack
+// can simulate — paper builtins, parametric generators, and dataset files —
+// so scenario specs, CLI flags and benches all share a single resolver.
+//
+// Spec grammar (case-sensitive except builtin aliases):
+//   "B4" | "Clos" | "Telstra" | "ATT" | "EBONE"   paper builtins (Table 8)
+//   "fat_tree:k=K"                                folded Clos, 5K^2/4 switches
+//   "random_wan:nodes=N[,m=M][,seed=S]"           preferential attachment,
+//                                                 m >= 2 (default 2), seed
+//                                                 default 1
+//   "isp:nodes=N,diameter=D[,seed=S]"             hub-backbone ISP generator
+//                                                 (seed default 1)
+//   "file:PATH"                                   load, format by extension
+//   "rocketfuel:PATH" | "graphml:PATH" | "edgelist:PATH"   explicit format
+//
+// resolve() memoizes per spec behind a mutex (campaign trials run on many
+// threads and re-resolve the same fabric), so files parse once per process
+// and generator determinism doubles as cache coherence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topo/topologies.hpp"
+
+namespace ren::topo {
+
+/// Resolve a topology spec (grammar above). Throws std::invalid_argument for
+/// an unknown name or malformed spec, std::runtime_error for file problems.
+Topology resolve(const std::string& spec);
+
+/// Validate without materializing a copy (still populates the cache).
+/// Throws exactly like resolve().
+void validate_spec(const std::string& spec);
+
+/// One row of `ren_scenarios --list-topos`.
+struct TopoInfo {
+  std::string spec;     ///< resolvable spec string
+  std::string kind;     ///< "builtin", "generator", or "generator example"
+  std::string summary;  ///< one-line description
+  int nodes = 0;
+  std::size_t links = 0;
+  int diameter = 0;
+};
+
+/// Every registered builtin plus representative generator instantiations
+/// (fat-tree k=8/16/32, a 1k-node random WAN, an ISP example) with measured
+/// node/link/diameter counts. Generators accept other parameters too — the
+/// examples exist so campaign authors can discover fabrics without reading
+/// source.
+std::vector<TopoInfo> list_topos();
+
+}  // namespace ren::topo

@@ -28,19 +28,27 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ren_scenarios (--scenario NAME | --spec FILE) [options]\n"
                "       ren_scenarios --merge SHARD.json... [--out FILE]\n"
-               "       ren_scenarios --list\n"
+               "       ren_scenarios --list | --list-topos\n"
                "\n"
                "options:\n"
                "  --list                 list built-in scenarios and exit\n"
+               "  --list-topos           list registered topologies (builtins,\n"
+               "                         generators, loaders) with node/link\n"
+               "                         counts and exit\n"
                "  --scenario NAME        run a built-in scenario\n"
                "  --spec FILE            run a JSON scenario spec ('-' = stdin)\n"
                "  --print-spec           print the scenario's JSON spec, don't run\n"
-               "  --topologies A,B,...   override the topology axis\n"
+               "  --topologies A,B,...   override the topology axis (specs:\n"
+               "                         builtin names, fat_tree:k=K,\n"
+               "                         random_wan:nodes=N[,m=M][,seed=S],\n"
+               "                         isp:nodes=N,diameter=D[,seed=S],\n"
+               "                         file:PATH — see --list-topos)\n"
                "  --controllers N,M,...  override the controller-count axis\n"
                "  --axis NAME=V1,V2,...  add/override a generic config axis\n"
                "                         (kappa, theta, task_delay_ms,\n"
-               "                         link_loss); repeatable, crossed with\n"
-               "                         the topology/controller grid\n"
+               "                         link_loss, victims); repeatable,\n"
+               "                         crossed with the topology/controller\n"
+               "                         grid\n"
                "  --trials N             seeded repetitions per grid cell\n"
                "  --seed S               campaign base seed\n"
                "  --threads N            worker threads (default: all cores)\n"
@@ -117,6 +125,20 @@ int main(int argc, char** argv) {
       for (const auto& n : scenario::builtin_names()) {
         const auto s = scenario::builtin(n);
         std::printf("%-28s %s\n", n.c_str(), s.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--list-topos") {
+      std::printf("%-36s %-18s %7s %7s %9s  %s\n", "spec", "kind", "nodes",
+                  "links", "diameter", "summary");
+      for (const auto& t : topo::list_topos()) {
+        if (t.nodes > 0) {
+          std::printf("%-36s %-18s %7d %7zu %9d  %s\n", t.spec.c_str(),
+                      t.kind.c_str(), t.nodes, t.links, t.diameter,
+                      t.summary.c_str());
+        } else {
+          std::printf("%-36s %-18s %7s %7s %9s  %s\n", t.spec.c_str(),
+                      t.kind.c_str(), "-", "-", "-", t.summary.c_str());
+        }
       }
       return 0;
     } else if (arg == "--scenario") {
