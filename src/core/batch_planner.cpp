@@ -6,11 +6,23 @@
 #include <stdexcept>
 #include <string>
 
+#include "net/simulator.hpp"
 #include "util/log.hpp"
 
 namespace ren::core {
 
 namespace {
+
+/// In-place message rotation requires exclusive ownership, and under a
+/// multi-shard simulation use_count() == 1 is not a safe signal for it: the
+/// last foreign reference may have been dropped by a peer shard with no
+/// happens-before edge, and the count's value can depend on wall-clock
+/// interleaving. Clone instead there — the clone path is behaviourally
+/// identical (only the rotated/cloned stat split moves), so outcomes stay
+/// bit-identical to the serial kernel.
+bool uniquely_owned(const proto::MessagePtr& msg) {
+  return msg.use_count() == 1 && !net::Simulator::concurrent_context();
+}
 
 /// Rotate a cached batch onto a new round: only the newRound/updateRule/
 /// query tags change, the command structure (and the shared rule list) is
@@ -111,7 +123,7 @@ std::shared_ptr<proto::Message> BatchPlanner::materialize(
     // place when nothing else still references it (transport acked, frames
     // drained), else clone once — sharing makes the clone the class's new
     // shared object via the intern list.
-    if (entry.msg.use_count() == 1) {
+    if (uniquely_owned(entry.msg)) {
       ++stats_.rotated;
     } else {
       ++stats_.cloned;
@@ -154,7 +166,7 @@ void BatchPlanner::rotate_fanout(proto::Tag tag) {
         }
       }
       if (!remapped) {
-        if (e->msg.use_count() == 1) {
+        if (uniquely_owned(e->msg)) {
           ++stats_.rotated;
           retag(*e->msg, tag);
         } else {

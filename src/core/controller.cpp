@@ -52,9 +52,9 @@ Controller::Controller(NodeId id, Config config)
 }
 
 void Controller::start() {
-  const Time it_off = static_cast<Time>(
-      sim_->rng().next_below(static_cast<std::uint64_t>(config_.task_delay)));
-  const Time det_off = static_cast<Time>(sim_->rng().next_below(
+  const Time it_off = static_cast<Time>(sim_->node_rng(id()).next_below(
+      static_cast<std::uint64_t>(config_.task_delay)));
+  const Time det_off = static_cast<Time>(sim_->node_rng(id()).next_below(
       static_cast<std::uint64_t>(config_.detect_interval)));
   sim_->schedule_for(id(), it_off, [this] { iterate(); });
   sim_->schedule_for(id(), det_off, [this] { detect_tick(); });

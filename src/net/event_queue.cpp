@@ -12,18 +12,32 @@ void EventQueue::push(Event&& ev) {
 }
 
 void EventQueue::schedule_at(Time at, Action action) {
+  schedule_at(at, std::move(action), kGlobalLane, next_seq_++);
+}
+
+void EventQueue::schedule_at(Time at, Action action, std::int32_t lane,
+                             std::uint64_t seq) {
   Event ev;
   ev.at = at;
-  ev.seq = next_seq_++;
+  ev.lane = lane;
+  ev.seq = seq;
   ev.action = std::move(action);
   push(std::move(ev));
 }
 
 void EventQueue::schedule_packet(Time at, NodeId from, NodeId to, int link,
                                  Packet packet) {
+  schedule_packet(at, from, to, link, std::move(packet), kGlobalLane,
+                  next_seq_++);
+}
+
+void EventQueue::schedule_packet(Time at, NodeId from, NodeId to, int link,
+                                 Packet packet, std::int32_t lane,
+                                 std::uint64_t seq) {
   Event ev;
   ev.at = at;
-  ev.seq = next_seq_++;
+  ev.lane = lane;
+  ev.seq = seq;
   ev.packet = std::move(packet);
   ev.from = from;
   ev.to = to;
@@ -31,23 +45,46 @@ void EventQueue::schedule_packet(Time at, NodeId from, NodeId to, int link,
   push(std::move(ev));
 }
 
+void EventQueue::inject(Event&& ev) { push(std::move(ev)); }
+
 Time EventQueue::next_time() const {
   return heap_.empty() ? kTimeNever : heap_.front().at;
 }
 
-bool EventQueue::step() {
+EventQueue::Key EventQueue::front_key() const {
+  if (heap_.empty()) return Key{};
+  const Event& e = heap_.front();
+  return Key{e.at, e.lane, e.seq};
+}
+
+bool EventQueue::pop(Event& out) {
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  out = std::move(heap_.back());
   heap_.pop_back();
-  now_ = ev.at;
+  now_ = out.at;
   ++executed_;
+  return true;
+}
+
+bool EventQueue::pop_until(Time limit, Event& out) {
+  if (heap_.empty() || heap_.front().at > limit) return false;
+  return pop(out);
+}
+
+bool EventQueue::step() {
+  Event ev;
+  if (!pop(ev)) return false;
   if (ev.action) {
     ev.action();
   } else {
     packet_handler_(ev.from, ev.to, ev.link, ev.packet);
   }
   return true;
+}
+
+std::vector<EventQueue::Event> EventQueue::drain_all() {
+  return std::exchange(heap_, {});
 }
 
 }  // namespace ren::net

@@ -1,15 +1,23 @@
 // Deterministic discrete-event queue.
 //
-// Events fire in (time, insertion order) — ties broken by a monotonically
-// increasing sequence number so that runs are bit-for-bit reproducible,
-// which the self-stabilization experiments rely on.
+// Events fire in (time, lane, lane sequence) order. The lane identifies the
+// scheduling context — lane 0 is the harness/global lane, lane `id + 1` the
+// per-node lane — and the sequence number is that lane's monotonic schedule
+// counter. The key is *content-based*: it depends only on who scheduled what,
+// never on which thread or in which interleaving the schedule call ran, so
+// the total event order (and therefore every run) is bit-for-bit identical
+// whether one queue serves the whole simulation or nodes are sharded across
+// several queues (net::Simulator's parallel mode). Within a lane, ties at
+// equal time keep insertion order, which is what the pre-lane kernel
+// guaranteed globally.
 //
 // Two event classes share one heap: general closures (timers, scheduled
 // actions) and packet deliveries. Packet deliveries are the dominant class
 // by far, and a std::function closure would cost a heap allocation plus a
 // payload copy per hop; instead they are stored inline (the Packet payload
 // is a shared immutable pointer, so moving an event moves two pointers) and
-// dispatched through one handler installed by the simulator.
+// dispatched by the simulator, or — for standalone use — through one
+// installed handler.
 #pragma once
 
 #include <cstdint>
@@ -24,21 +32,64 @@ namespace ren::net {
 class EventQueue {
  public:
   using Action = std::function<void()>;
-  /// Installed once by the simulator; receives every packet event.
+  /// Installed once for standalone use (step()); receives packet events.
   using PacketHandler =
       std::function<void(NodeId from, NodeId to, int link, Packet& packet)>;
+
+  /// The harness/global lane. Node `id` schedules on lane `id + 1`.
+  static constexpr std::int32_t kGlobalLane = 0;
+
+  struct Event {
+    Time at = 0;
+    std::int32_t lane = kGlobalLane;
+    std::uint64_t seq = 0;
+    Action action;  ///< general event; empty for packet events
+    Packet packet;  ///< packet event payload (action empty)
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    int link = -1;
+
+    [[nodiscard]] bool is_packet() const { return !action; }
+  };
+
+  /// The deterministic total-order key of an event.
+  struct Key {
+    Time at = kTimeNever;
+    std::int32_t lane = 0;
+    std::uint64_t seq = 0;
+
+    [[nodiscard]] bool operator<(const Key& o) const {
+      if (at != o.at) return at < o.at;
+      if (lane != o.lane) return lane < o.lane;
+      return seq < o.seq;
+    }
+  };
 
   void set_packet_handler(PacketHandler handler) {
     packet_handler_ = std::move(handler);
   }
 
-  /// Schedule `action` at absolute time `at` (must be >= now()).
+  /// Schedule `action` at absolute time `at` on the global lane with this
+  /// queue's own sequence counter (standalone use; the simulator's global
+  /// queue also runs on this).
   void schedule_at(Time at, Action action);
 
+  /// Schedule `action` with an externally assigned (lane, seq) key — the
+  /// simulator owns the per-node lane counters.
+  void schedule_at(Time at, Action action, std::int32_t lane,
+                   std::uint64_t seq);
+
   /// Allocation-free fast path: deliver `packet` (from -> to over `link`)
-  /// at time `at` via the installed packet handler.
+  /// at time `at`. Without an explicit key: global lane, own counter.
   void schedule_packet(Time at, NodeId from, NodeId to, int link,
                        Packet packet);
+  void schedule_packet(Time at, NodeId from, NodeId to, int link,
+                       Packet packet, std::int32_t lane, std::uint64_t seq);
+
+  /// Insert an event whose key was already assigned by another queue
+  /// (cross-shard mailbox drain). The key is preserved verbatim, so the
+  /// heap order is independent of merge order.
+  void inject(Event&& ev);
 
   /// True when no events remain.
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -47,28 +98,42 @@ class EventQueue {
   /// Current simulated time (time of the last executed event).
   [[nodiscard]] Time now() const { return now_; }
 
+  /// Advance now() to at least `t` without executing anything (the simulator
+  /// re-syncs idle shard queues at quiescent points so the past-event clamp
+  /// matches the single-queue kernel).
+  void sync_now(Time t) {
+    if (t > now_) now_ = t;
+  }
+
   /// Time of the next pending event, or kTimeNever when empty.
   [[nodiscard]] Time next_time() const;
 
-  /// Execute the next event; returns false when the queue is empty.
+  /// Key of the next pending event ({kTimeNever, ..} when empty).
+  [[nodiscard]] Key front_key() const;
+
+  /// Pop the next event into `out` (advances now(), counts it as executed).
+  /// Returns false when empty.
+  bool pop(Event& out);
+
+  /// pop(), but only while the next event's time is <= `limit`.
+  bool pop_until(Time limit, Event& out);
+
+  /// Standalone drive: pop and dispatch the next event (action directly,
+  /// packets through the installed handler); false when empty.
   bool step();
+
+  /// Move out every pending event (heap order, not sorted); the queue is
+  /// empty afterwards. Used when re-partitioning shards.
+  [[nodiscard]] std::vector<Event> drain_all();
 
   /// Total events executed so far.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    Action action;  ///< general event; empty for packet events
-    Packet packet;  ///< packet event payload (action empty)
-    NodeId from = kNoNode;
-    NodeId to = kNoNode;
-    int link = -1;
-  };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.lane != b.lane) return a.lane > b.lane;
       return a.seq > b.seq;
     }
   };

@@ -1,0 +1,79 @@
+#include "net/shard.hpp"
+
+#include <algorithm>
+
+namespace ren::net {
+
+ShardPlan make_shard_plan(const Network& net,
+                          const std::vector<NodeKind>& kinds, int shards) {
+  ShardPlan plan;
+  const std::size_t n = kinds.size();
+  plan.shard_of.assign(n, 0);
+  plan.shards = std::max(1, shards);
+  plan.shards = std::min<int>(plan.shards, static_cast<int>(std::max<std::size_t>(n, 1)));
+  if (plan.shards <= 1) {
+    plan.shards = 1;
+    return plan;
+  }
+
+  const auto s64 = static_cast<std::size_t>(plan.shards);
+  std::size_t n_switches = 0;
+  for (NodeKind k : kinds) {
+    if (k == NodeKind::Switch) ++n_switches;
+  }
+  std::size_t switch_idx = 0;
+  std::size_t controller_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (kinds[i]) {
+      case NodeKind::Switch:
+        plan.shard_of[i] = static_cast<int>(switch_idx * s64 / n_switches);
+        ++switch_idx;
+        break;
+      case NodeKind::Controller:
+        plan.shard_of[i] = static_cast<int>(controller_idx++ % s64);
+        break;
+      case NodeKind::Host:
+        plan.shard_of[i] = 0;
+        break;
+    }
+  }
+
+  for (std::size_t li = 0; li < net.link_count(); ++li) {
+    const Link& l = net.link(static_cast<int>(li));
+    if (plan.shard_of[static_cast<std::size_t>(l.a())] ==
+        plan.shard_of[static_cast<std::size_t>(l.b())])
+      continue;
+    ++plan.cross_links;
+    plan.lookahead = std::min(plan.lookahead, l.params().latency);
+  }
+
+  if (plan.cross_links > 0 && plan.lookahead <= 0) {
+    // A zero-latency cross-shard link leaves no conservative window at all;
+    // run serial rather than degenerate.
+    plan.shards = 1;
+    plan.shard_of.assign(n, 0);
+    plan.lookahead = kTimeNever;
+    plan.cross_links = 0;
+  }
+  return plan;
+}
+
+int suggest_sim_shards(int nodes, std::size_t links, int diameter) {
+  if (nodes <= 0) return 1;
+  // Per-epoch work scales with the event rate ~ nodes x degree; one shard
+  // per ~512 incident-edge units keeps each worker busy well past the
+  // barrier cost. Deep fabrics tolerate more shards: a cross-shard packet
+  // needs a full epoch per hop, so the diameter bounds useful parallelism.
+  const double degree =
+      2.0 * static_cast<double>(links) / static_cast<double>(nodes);
+  const int by_load =
+      static_cast<int>(static_cast<double>(nodes) * degree / 512.0);
+  const int by_depth = std::max(1, diameter);
+  int s = std::clamp(std::min(by_load, by_depth), 1, 16);
+  // Round down to a power of two: campaign scripts sweep 1/2/4/8/16.
+  int p = 1;
+  while (p * 2 <= s) p *= 2;
+  return p;
+}
+
+}  // namespace ren::net

@@ -1,0 +1,50 @@
+// Node partitioning for the parallel simulation kernel.
+//
+// A shard plan assigns every node to one of S shards and derives the
+// conservative lookahead Δ = the minimum one-way latency over cross-shard
+// links. The epoch-lockstep kernel (net::Simulator) advances all shards in
+// windows of width Δ: a packet crossing a shard boundary arrives at least Δ
+// after it was sent, so within a window shards cannot influence each other
+// and may execute on independent threads.
+//
+// The partition is a pure function of the topology (never of thread timing):
+//   - switches are cut into contiguous id blocks (topology generators emit
+//     locality-correlated ids, so blocks keep most fabric links internal);
+//   - controllers are dealt round-robin so no shard carries them all;
+//   - hosts all land in shard 0 — a host pair shares its FlowStats sink, so
+//     the two endpoints must never execute concurrently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/types.hpp"
+
+namespace ren::net {
+
+struct ShardPlan {
+  int shards = 1;
+  std::vector<int> shard_of;  ///< node id -> shard index
+  /// Minimum one-way latency over cross-shard links (the conservative epoch
+  /// width). kTimeNever when no link crosses a shard boundary — then windows
+  /// are bounded only by the run target and pending global events.
+  Time lookahead = kTimeNever;
+  std::size_t cross_links = 0;
+};
+
+/// Partition `kinds.size()` nodes into at most `shards` shards over the
+/// given network. Falls back to a single shard when any cross-shard link has
+/// zero latency (no lookahead — conservative windows would be empty).
+[[nodiscard]] ShardPlan make_shard_plan(const Network& net,
+                                        const std::vector<NodeKind>& kinds,
+                                        int shards);
+
+/// Suggested --sim-threads for a fabric: enough per-epoch work per shard
+/// (nodes x degree) to amortize the barrier, capped by the diameter (a
+/// cross-shard packet spends >= 1 epoch per hop, so shallow fabrics stop
+/// profiting early) and rounded down to a power of two <= 16.
+[[nodiscard]] int suggest_sim_shards(int nodes, std::size_t links,
+                                     int diameter);
+
+}  // namespace ren::net

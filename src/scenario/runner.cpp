@@ -150,6 +150,7 @@ class TrialExecutor {
     cfg.monitor_paranoid = opt.paranoid_monitor;
     cfg.views_paranoid = opt.paranoid_views;
     cfg.batches_paranoid = opt.paranoid_batches;
+    cfg.sim_threads = std::max(1, opt.sim_threads);
     exp_ = std::make_unique<sim::Experiment>(std::move(cfg));
     cp_ = exp_->control_plane();
     // Traffic scenarios register the host<->host data flow up front so its
@@ -334,6 +335,7 @@ class TrialExecutor {
       out.has_traffic = true;
       out.traffic_mbits = out.windows.front().mbits;
     }
+    out.counters_fp = exp_->sim().counters().fingerprint();
   }
 
   const Scenario& scenario_;
@@ -352,6 +354,40 @@ class TrialExecutor {
 
 }  // namespace
 
+Json trial_outcome_json(const TrialOutcome& out) {
+  Json rj;
+  Json rcps{JsonArray{}};
+  for (const auto& rcp : out.checkpoints) {
+    Json j;
+    j.set("label", rcp.label);
+    j.set("converged", rcp.converged);
+    j.set("seconds", rcp.seconds);
+    j.set("cmd_per_node_iter", rcp.cmd_per_node_iter);
+    rcps.push_back(std::move(j));
+  }
+  rj.set("checkpoints", std::move(rcps));
+  if (!out.windows.empty()) {
+    Json rwins{JsonArray{}};
+    for (const auto& w : out.windows) {
+      Json j;
+      j.set("label", w.label);
+      j.set("seconds", w.seconds);
+      j.set("mbits", w.mbits);
+      j.set("mbits_series", series_json(w.mbits_series));
+      j.set("retx_pct", series_json(w.retx_pct));
+      j.set("bad_pct", series_json(w.bad_pct));
+      j.set("ooo_pct", series_json(w.ooo_pct));
+      rwins.push_back(std::move(j));
+    }
+    rj.set("traffic_windows", std::move(rwins));
+  }
+  rj.set("messages", out.messages);
+  rj.set("commands", out.commands);
+  rj.set("illegitimate_deletions", out.illegitimate_deletions);
+  if (out.has_traffic) rj.set("traffic_mbits", out.traffic_mbits);
+  return rj;
+}
+
 std::uint64_t trial_seed(std::uint64_t base_seed, const std::string& topology,
                          int controllers, int trial) {
   std::uint64_t h = mix64(base_seed);
@@ -367,7 +403,25 @@ TrialOutcome run_trial(const Scenario& s, const std::string& topology,
   const std::uint64_t seed =
       trial_seed(s.base_seed, topology, controllers, trial);
   TrialExecutor exec(s, topology, controllers, axes, seed, opt);
-  return exec.run();
+  TrialOutcome out = exec.run();
+  if (opt.paranoid_sim) {
+    // Differential mode: replay the trial on the serial reference kernel and
+    // demand a byte-identical outcome (same idiom as --paranoid-views /
+    // --paranoid-batches: the optimized path shadows the reference path).
+    RunnerOptions serial = opt;
+    serial.sim_threads = 1;
+    serial.paranoid_sim = false;
+    TrialExecutor ref(s, topology, controllers, axes, seed, serial);
+    const TrialOutcome want = ref.run();
+    if (trial_outcome_json(out).pretty() != trial_outcome_json(want).pretty() ||
+        out.counters_fp != want.counters_fp) {
+      throw std::runtime_error(
+          "paranoid-sim: sim_threads=" + std::to_string(opt.sim_threads) +
+          " outcome diverged from the serial kernel (trial " +
+          std::to_string(trial) + ", topology " + topology + ")");
+    }
+  }
+  return out;
 }
 
 TrialOutcome run_trial(const Scenario& s, const std::string& topology,
@@ -445,7 +499,23 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
                     ? opt.threads
                     : static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
-  threads = std::min<int>(threads, static_cast<int>(grid.size()));
+  // Budget nested parallelism: each trial may itself run sim_threads shard
+  // workers, so cap the trial pool at hw / sim_threads to keep trial-level x
+  // simulation-level threads within the machine.
+  if (opt.sim_threads > 1) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw < 1) hw = 1;
+    threads = std::min(threads, std::max(1, hw / opt.sim_threads));
+  }
+  // Size the pool by the trials this process actually runs, not the whole
+  // grid: under --shard k/n only every n-th grid point is ours, and a pool
+  // sized by grid.size() would spawn workers with nothing to do.
+  std::size_t shard_trials = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (in_shard(i)) ++shard_trials;
+  }
+  threads = std::min<int>(threads, static_cast<int>(
+                                       std::max<std::size_t>(shard_trials, 1)));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads > 1 ? threads : 0));
   if (threads <= 1) {
@@ -642,35 +712,8 @@ Json CampaignResult::to_json() const {
       for (const auto& [trial, out] : c.raw) {
         Json rj;
         rj.set("trial", trial);
-        Json rcps{JsonArray{}};
-        for (const auto& rcp : out.checkpoints) {
-          Json j;
-          j.set("label", rcp.label);
-          j.set("converged", rcp.converged);
-          j.set("seconds", rcp.seconds);
-          j.set("cmd_per_node_iter", rcp.cmd_per_node_iter);
-          rcps.push_back(std::move(j));
-        }
-        rj.set("checkpoints", std::move(rcps));
-        if (!out.windows.empty()) {
-          Json rwins{JsonArray{}};
-          for (const auto& w : out.windows) {
-            Json j;
-            j.set("label", w.label);
-            j.set("seconds", w.seconds);
-            j.set("mbits", w.mbits);
-            j.set("mbits_series", series_json(w.mbits_series));
-            j.set("retx_pct", series_json(w.retx_pct));
-            j.set("bad_pct", series_json(w.bad_pct));
-            j.set("ooo_pct", series_json(w.ooo_pct));
-            rwins.push_back(std::move(j));
-          }
-          rj.set("traffic_windows", std::move(rwins));
-        }
-        rj.set("messages", out.messages);
-        rj.set("commands", out.commands);
-        rj.set("illegitimate_deletions", out.illegitimate_deletions);
-        if (out.has_traffic) rj.set("traffic_mbits", out.traffic_mbits);
+        const Json tj = trial_outcome_json(out);
+        for (const auto& [key, value] : tj.as_object()) rj.set(key, value);
         raws.push_back(std::move(rj));
       }
       cj.set("raw", std::move(raws));

@@ -1,8 +1,9 @@
 // The campaign runner: expands a Scenario over its parameter grid
 // (topology x controller-count x generic axes x seed), executes the trials
-// on a thread pool — each trial is one single-threaded Experiment, so the
+// on a thread pool — each trial is one Experiment, serial by default or on
+// `sim_threads` epoch-lockstep shards (bit-identical either way, so the
 // paper's interleaving model is preserved inside a trial while the campaign
-// uses every core — and aggregates the per-trial measurements into
+// uses every core) — and aggregates the per-trial measurements into
 // percentile summaries with a deterministic JSON rendering.
 //
 // Determinism contract: a campaign's JSON output depends only on the
@@ -48,6 +49,15 @@ struct RunnerOptions {
   /// union of all n shard reports equals the unsharded campaign.
   int shard_index = 0;  ///< 0-based, < shard_count
   int shard_count = 1;
+  /// Simulation shards per trial (Simulator::configure_parallel); 1 = the
+  /// serial kernel. Outcomes are bit-identical at any value, so this is a
+  /// pure wall-clock knob. The trial pool is budgeted so that trial-level x
+  /// simulation-level parallelism never oversubscribes the machine.
+  int sim_threads = 1;
+  /// Differential-test mode: every trial is re-run on the serial kernel and
+  /// the two TrialOutcome JSON renderings plus the Counters fingerprints
+  /// must match byte-for-byte; the trial fails on any divergence.
+  bool paranoid_sim = false;
 };
 
 /// One concrete point of the generic axes: (axis name, value) in the
@@ -85,6 +95,10 @@ struct TrialOutcome {
   double illegitimate_deletions = 0;  ///< deletions that hit live peers
   bool has_traffic = false;
   double traffic_mbits = 0;  ///< mean goodput of the first traffic window
+  /// Order-independent digest of the trial's final simulator Counters. Not
+  /// part of the JSON rendering (shard-merged reports stay byte-identical);
+  /// used by --paranoid-sim and the determinism tests.
+  std::uint64_t counters_fp = 0;
 };
 
 /// Aggregates for one (topology, controllers, axis point) grid cell.
@@ -157,6 +171,11 @@ struct CampaignResult {
                                      const std::string& topology,
                                      int controllers, int trial,
                                      const RunnerOptions& opt);
+
+/// The canonical JSON rendering of one trial (the raw-export cell format).
+/// Byte-equality of two renderings is the determinism contract checked by
+/// --paranoid-sim and the sim_threads determinism tests.
+[[nodiscard]] Json trial_outcome_json(const TrialOutcome& t);
 
 /// Fold executed trials (in ascending trial order; errored ones carry
 /// ok=false) into one cell's aggregates. Takes the outcomes by value (they

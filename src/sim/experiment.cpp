@@ -163,6 +163,8 @@ void Experiment::build() {
     sim_.node(static_cast<NodeId>(i)).start();
   }
 
+  if (config_.sim_threads != 1) sim_.configure_parallel(config_.sim_threads);
+
   core::LegitimacyMonitor::Config m_cfg;
   m_cfg.kappa = config_.kappa;
   m_cfg.check_rule_walk = config_.check_rule_walk;

@@ -69,6 +69,9 @@ struct ExperimentConfig {
   std::size_t max_rules = 1u << 20;
   std::size_t max_replies = 0;        ///< 0 = auto: 2(N_C+N_S)+4
   std::size_t max_managers = 64;
+  /// Simulation shards (worker threads) for the epoch-lockstep parallel
+  /// kernel; 1 = serial. Outcomes are bit-identical at any value.
+  int sim_threads = 1;
   bool with_hosts = false;            ///< attach a host pair at max distance
   bool check_rule_walk = true;        ///< monitor strictness
   /// Event budget: run_until_legitimate additionally gives up once the

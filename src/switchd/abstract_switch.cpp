@@ -27,9 +27,11 @@ AbstractSwitch::AbstractSwitch(NodeId id, Config config)
 
 void AbstractSwitch::start() {
   // Stagger timers across nodes so synchronized bursts do not mask queueing.
-  const Time tick_off = static_cast<Time>(
-      sim_->rng().next_below(static_cast<std::uint64_t>(config_.tick_interval)));
-  const Time det_off = static_cast<Time>(sim_->rng().next_below(
+  // Drawn from the node's own stream: the offsets depend only on (seed, id),
+  // never on the order nodes happen to start in.
+  const Time tick_off = static_cast<Time>(sim_->node_rng(id()).next_below(
+      static_cast<std::uint64_t>(config_.tick_interval)));
+  const Time det_off = static_cast<Time>(sim_->node_rng(id()).next_below(
       static_cast<std::uint64_t>(config_.detect_interval)));
   sim_->schedule_for(id(), tick_off, [this] { control_tick(); });
   sim_->schedule_for(id(), det_off, [this] { detect_tick(); });

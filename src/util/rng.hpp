@@ -15,6 +15,19 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
+  /// SplitMix64 stream split: derive the seed of an independent stream from
+  /// a base seed and a stream id. The parallel simulation kernel gives every
+  /// node the stream `Rng(Rng::stream_seed(seed, node_id))`; the derivation
+  /// depends only on (seed, stream), never on execution order, so per-node
+  /// draw sequences are identical for any shard count.
+  static constexpr std::uint64_t stream_seed(std::uint64_t seed,
+                                             std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   void reseed(std::uint64_t seed) {
     // SplitMix64 expansion of the seed into the 256-bit state.
     std::uint64_t x = seed;

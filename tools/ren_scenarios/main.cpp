@@ -52,6 +52,12 @@ void usage(std::FILE* to) {
                "  --trials N             seeded repetitions per grid cell\n"
                "  --seed S               campaign base seed\n"
                "  --threads N            worker threads (default: all cores)\n"
+               "  --sim-threads N        simulation shards per trial (epoch-\n"
+               "                         lockstep parallel kernel; outcomes are\n"
+               "                         bit-identical for any N, and the trial\n"
+               "                         pool shrinks so N x trials stays within\n"
+               "                         the machine; see --list-topos for a\n"
+               "                         suggested N per topology)\n"
                "  --shard K/N            run shard K of N (K = 1..N); the union\n"
                "                         of all N shard reports is the full\n"
                "                         campaign (seeds depend only on the grid)\n"
@@ -66,6 +72,9 @@ void usage(std::FILE* to) {
                "  --paranoid-batches     differential-check every planned\n"
                "                         outbound batch against a from-scratch\n"
                "                         build (byte-equal encodings; slow)\n"
+               "  --paranoid-sim         re-run every trial on the serial\n"
+               "                         kernel and require a byte-identical\n"
+               "                         outcome (with --sim-threads; slow)\n"
                "  --paper-timers         paper Section 6.3 timers instead of fast\n"
                "  --out FILE             write the JSON report here (default stdout)\n"
                "  --verbose              enable Info-level simulation logging\n");
@@ -101,12 +110,12 @@ int main(int argc, char** argv) {
   std::string topologies_csv, controllers_csv;
   std::vector<std::pair<std::string, std::vector<double>>> axis_overrides;
   std::vector<std::string> merge_inputs;
-  int trials = 0, threads = 0;
+  int trials = 0, threads = 0, sim_threads = 1;
   int shard_index = 0, shard_count = 1;
   std::uint64_t seed = 0;
   bool have_seed = false, paper_timers = false, print_spec = false;
   bool include_raw = false, paranoid = false, paranoid_views = false;
-  bool paranoid_batches = false;
+  bool paranoid_batches = false, paranoid_sim = false;
   bool merge_mode = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -128,16 +137,20 @@ int main(int argc, char** argv) {
       }
       return 0;
     } else if (arg == "--list-topos") {
-      std::printf("%-36s %-18s %7s %7s %9s  %s\n", "spec", "kind", "nodes",
-                  "links", "diameter", "summary");
+      // "shards" is the suggested --sim-threads for the fabric (work-per-
+      // epoch vs diameter heuristic, net::suggest_sim_shards).
+      std::printf("%-36s %-18s %7s %7s %9s %7s  %s\n", "spec", "kind", "nodes",
+                  "links", "diameter", "shards", "summary");
       for (const auto& t : topo::list_topos()) {
         if (t.nodes > 0) {
-          std::printf("%-36s %-18s %7d %7zu %9d  %s\n", t.spec.c_str(),
-                      t.kind.c_str(), t.nodes, t.links, t.diameter,
+          const int shards =
+              net::suggest_sim_shards(t.nodes, t.links, t.diameter);
+          std::printf("%-36s %-18s %7d %7zu %9d %7d  %s\n", t.spec.c_str(),
+                      t.kind.c_str(), t.nodes, t.links, t.diameter, shards,
                       t.summary.c_str());
         } else {
-          std::printf("%-36s %-18s %7s %7s %9s  %s\n", t.spec.c_str(),
-                      t.kind.c_str(), "-", "-", "-", t.summary.c_str());
+          std::printf("%-36s %-18s %7s %7s %9s %7s  %s\n", t.spec.c_str(),
+                      t.kind.c_str(), "-", "-", "-", "-", t.summary.c_str());
         }
       }
       return 0;
@@ -178,6 +191,12 @@ int main(int argc, char** argv) {
       have_seed = true;
     } else if (arg == "--threads") {
       threads = std::stoi(value());
+    } else if (arg == "--sim-threads") {
+      sim_threads = std::stoi(value());
+      if (sim_threads < 1) {
+        std::fprintf(stderr, "--sim-threads requires N >= 1\n");
+        return 2;
+      }
     } else if (arg == "--shard") {
       const std::string v = value();
       const auto slash = v.find('/');
@@ -208,6 +227,8 @@ int main(int argc, char** argv) {
       paranoid_views = true;
     } else if (arg == "--paranoid-batches") {
       paranoid_batches = true;
+    } else if (arg == "--paranoid-sim") {
+      paranoid_sim = true;
     } else if (arg == "--paper-timers") {
       paper_timers = true;
     } else if (arg == "--out") {
@@ -232,9 +253,10 @@ int main(int argc, char** argv) {
     // silently producing a report the flags had no effect on.
     if (print_spec || !topologies_csv.empty() || !controllers_csv.empty() ||
         !axis_overrides.empty() ||
-        trials > 0 || have_seed || threads != 0 || shard_count != 1 ||
+        trials > 0 || have_seed || threads != 0 || sim_threads != 1 ||
+        shard_count != 1 ||
         include_raw || paranoid || paranoid_views || paranoid_batches ||
-        paper_timers) {
+        paranoid_sim || paper_timers) {
       std::fprintf(stderr,
                    "--merge takes only shard files and --out; campaign "
                    "options have no effect on a merge\n");
@@ -314,6 +336,8 @@ int main(int argc, char** argv) {
     opt.paranoid_monitor = paranoid;
     opt.paranoid_views = paranoid_views;
     opt.paranoid_batches = paranoid_batches;
+    opt.sim_threads = sim_threads;
+    opt.paranoid_sim = paranoid_sim;
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = scenario::run_campaign(s, opt);
     const auto elapsed =
