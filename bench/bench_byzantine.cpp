@@ -1,0 +1,176 @@
+// Byzantine-adversary campaign: convergence, availability and blast-radius
+// aggregates under the adversarial fault family (faults/adversary.hpp), plus
+// the determinism gate the family must honor.
+//
+//   bench_byzantine [--quick] [--json FILE] [--trials N]
+//
+// For each fabric (ATT, fat_tree:k=8) and each adversary mode (lying,
+// corrupting) the bench runs the same campaign — bootstrap, adversary window
+// at t=5..20s, cure, re-stabilization checkpoint — once per simulation shard
+// count in {1, 2, 4}, and gates on the three reports being byte-identical
+// (the adversary draws from per-node RNG streams and the watchdog reads at
+// barriers, so --sim-threads must stay a pure wall-clock knob). Reported per
+// cell: re-stabilization convergence time, time below legitimacy
+// (availability), illegitimate episodes, blast radius, and how many trials
+// re-stabilized after the cure.
+//
+// --quick (CI) runs ATT x lying at shard counts {1, 4} with one trial.
+// Writes BENCH_byzantine.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ren;
+
+scenario::Scenario byzantine_scenario(const std::string& topology,
+                                      const std::string& mode, int trials) {
+  scenario::Scenario s;
+  s.name = "byzantine_" + mode;
+  s.description = "adversary window t=5..20s, mode " + mode;
+  s.topologies = {topology};
+  s.controllers = {3};
+  s.trials = trials;
+  s.expect_converged(sec(0), "bootstrap", sec(120));
+  s.start_adversary(sec(5), mode);
+  s.stop_adversary(sec(20));
+  s.expect_converged(sec(20), "restabilize", sec(120));
+  return s;
+}
+
+struct CellReport {
+  std::string topology;
+  std::string mode;
+  bool identical = false;     ///< reports byte-identical across shard counts
+  int trials = 0;
+  int restabilized = 0;       ///< trials legitimate again after the cure
+  double restab_p50_s = 0;    ///< median re-stabilization time
+  double below_p50_s = 0;     ///< median time below legitimacy
+  double episodes_p50 = 0;    ///< median illegitimate episodes
+  double blast_p50 = 0;       ///< median blast radius (fraction of switches)
+};
+
+CellReport run_cell(const std::string& topology, const std::string& mode,
+                    int trials, const std::vector<int>& shard_counts) {
+  CellReport rep;
+  rep.topology = topology;
+  rep.mode = mode;
+  std::string first_json;
+  rep.identical = true;
+  scenario::CampaignResult first;
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    scenario::RunnerOptions opt;
+    opt.sim_threads = shard_counts[i];
+    auto result =
+        scenario::run_campaign(byzantine_scenario(topology, mode, trials), opt);
+    const std::string rendered = result.to_json().pretty();
+    if (i == 0) {
+      first_json = rendered;
+      first = std::move(result);
+    } else if (rendered != first_json) {
+      rep.identical = false;
+    }
+  }
+  if (!first.cells.empty()) {
+    const auto& c = first.cells.front();
+    rep.trials = c.trials;
+    rep.restabilized = c.wd_restabilized;
+    rep.below_p50_s = c.wd_below_s.p50;
+    rep.episodes_p50 = c.wd_episodes.p50;
+    rep.blast_p50 = c.wd_blast_radius.p50;
+    for (const auto& cp : c.checkpoints) {
+      if (cp.label == "restabilize") rep.restab_p50_s = cp.seconds.p50;
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_byzantine.json";
+  int trials = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::atoi(argv[++i]);
+      if (trials <= 0) {
+        std::fprintf(stderr, "usage: %s [--quick] [--json FILE] [--trials N>0]\n",
+                     argv[0]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json FILE] [--trials N>0]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (trials == 0) trials = quick ? 1 : 4;
+
+  const std::vector<std::string> fabrics =
+      quick ? std::vector<std::string>{"ATT"}
+            : std::vector<std::string>{"ATT", "fat_tree:k=8"};
+  const std::vector<std::string> modes =
+      quick ? std::vector<std::string>{"lying"}
+            : std::vector<std::string>{"lying", "corrupting"};
+  const std::vector<int> shard_counts =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+
+  bench::print_header(
+      "Byzantine adversary campaign — damage, recovery, determinism",
+      "Section 7 discussion: behavior outside the benign fault model");
+
+  bool all_pass = true;
+  scenario::Json jcells{scenario::JsonArray{}};
+  std::printf("%-14s %-12s %8s %12s %10s %9s %7s %12s\n", "fabric", "mode",
+              "trials", "restab (s)", "below (s)", "episodes", "blast",
+              "restabilized");
+  for (const auto& fabric : fabrics) {
+    for (const auto& mode : modes) {
+      const CellReport rep = run_cell(fabric, mode, trials, shard_counts);
+      if (!rep.identical || rep.restabilized != rep.trials) all_pass = false;
+      std::printf("%-14s %-12s %8d %12.2f %10.2f %9.1f %7.2f %9d/%d %s\n",
+                  rep.topology.c_str(), rep.mode.c_str(), rep.trials,
+                  rep.restab_p50_s, rep.below_p50_s, rep.episodes_p50,
+                  rep.blast_p50, rep.restabilized, rep.trials,
+                  rep.identical ? "" : "DIVERGED across --sim-threads");
+      scenario::Json jc;
+      jc.set("topology", rep.topology);
+      jc.set("mode", rep.mode);
+      jc.set("trials", rep.trials);
+      jc.set("identical_across_sim_threads", rep.identical);
+      jc.set("restabilize_p50_s", rep.restab_p50_s);
+      jc.set("below_legitimacy_p50_s", rep.below_p50_s);
+      jc.set("episodes_p50", rep.episodes_p50);
+      jc.set("blast_radius_p50", rep.blast_p50);
+      jc.set("restabilized", rep.restabilized);
+      jcells.push_back(std::move(jc));
+    }
+  }
+
+  scenario::Json doc;
+  doc.set("bench", "byzantine");
+  doc.set("mode", quick ? "quick" : "full");
+  doc.set("trials", trials);
+  doc.set("pass", all_pass);
+  doc.set("cells", std::move(jcells));
+  std::ofstream out(json_path);
+  out << doc.pretty();
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+
+  std::printf("%s\n",
+              all_pass ? "PASS (byte-identical reports at --sim-threads 1/2/4; "
+                         "every trial re-stabilized after the cure)"
+                       : "FAIL (see rows above)");
+  return all_pass ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/adversary.hpp"
 #include "util/log.hpp"
 
 namespace ren::core {
@@ -562,6 +563,10 @@ void Controller::on_peer_batch(NodeId from, const proto::CommandBatch& batch) {
       reply.nc = detector_.live();
       reply.from_controller = true;
       reply.tag_for_querier = q->tag;
+      // Byzantine interposition: a lying/equivocating controller forges the
+      // advertised neighborhood or the per-querier round tag right here,
+      // before the reply enters the transport.
+      if (adversary_ != nullptr) adversary_->tamper_reply(from, reply);
       endpoint_.submit(from, proto::Message{std::move(reply)});
     }
   }
@@ -569,6 +574,22 @@ void Controller::on_peer_batch(NodeId from, const proto::CommandBatch& batch) {
 
 void Controller::route_frame(NodeId peer, proto::PayloadPtr frame,
                              std::uint32_t bytes) {
+  // Byzantine interposition on the outbound frame path: a corrupting
+  // adversary field-permutes the frame (deep copy; the shared original is
+  // untouched), a babbler remembers it and may replay an older one first.
+  if (adversary_ != nullptr) {
+    if (proto::PayloadPtr forged = adversary_->corrupt_frame(*frame)) {
+      frame = std::move(forged);
+    }
+    if (auto replay = adversary_->note_and_babble(peer, frame, bytes)) {
+      emit_frame(replay->peer, std::move(replay->frame), replay->bytes);
+    }
+  }
+  emit_frame(peer, std::move(frame), bytes);
+}
+
+void Controller::emit_frame(NodeId peer, proto::PayloadPtr frame,
+                            std::uint32_t bytes) {
   net::Packet pkt = net::make_packet(id(), peer, std::move(frame), bytes);
   auto& counters = sim_->counters();
   counters.control_bytes_sent += pkt.bytes;

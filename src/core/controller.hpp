@@ -35,6 +35,10 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace ren::faults {
+class Adversary;
+}
+
 namespace ren::core {
 
 struct ControllerStats {
@@ -158,6 +162,12 @@ class Controller : public net::Node {
   /// compiled state (tests / self-stabilization experiments).
   void corrupt_state(Rng& rng, NodeId node_space);
 
+  /// Attach/detach a Byzantine adversary (faults/adversary.hpp; not owned,
+  /// nullptr = benign). Interposes on outbound query replies and frames.
+  /// Harness/barrier context only.
+  void set_adversary(faults::Adversary* a) { adversary_ = a; }
+  [[nodiscard]] faults::Adversary* adversary() const { return adversary_; }
+
  private:
   void iterate();  // run_iteration() + endpoint tick + reschedule
   void detect_tick();
@@ -189,7 +199,9 @@ class Controller : public net::Node {
 
   void on_reply(proto::QueryReply reply);
   void on_peer_batch(NodeId from, const proto::CommandBatch& batch);
+  /// Adversary interposition (corrupt/babble) ahead of emit_frame's routing.
   void route_frame(NodeId peer, proto::PayloadPtr frame, std::uint32_t bytes);
+  void emit_frame(NodeId peer, proto::PayloadPtr frame, std::uint32_t bytes);
 
   Config config_;
   tags::TagGenerator tags_;
@@ -224,6 +236,7 @@ class Controller : public net::Node {
   std::uint64_t merged_revision_ = ~0ULL;
 
   bool frozen_ = false;
+  faults::Adversary* adversary_ = nullptr;
   std::uint64_t change_epoch_ = 0;
   ControllerStats stats_;
   std::function<bool(NodeId)> liveness_oracle_;

@@ -1,0 +1,127 @@
+#include "faults/adversary.hpp"
+
+#include <stdexcept>
+
+#include "proto/mutate.hpp"
+#include "proto/tag.hpp"
+
+namespace ren::faults {
+namespace {
+
+// Salt so the adversary stream never collides with the node's simulation
+// stream (`Rng::stream_seed(seed, node_id)`), which seeds timers and
+// per-packet fault draws.
+constexpr std::uint64_t kAdversarySalt = 0xb1a5ed0ddba11ull;
+
+}  // namespace
+
+const char* to_string(AdversaryMode m) {
+  switch (m) {
+    case AdversaryMode::Lying:
+      return "lying";
+    case AdversaryMode::Equivocating:
+      return "equivocating";
+    case AdversaryMode::Corrupting:
+      return "corrupting";
+    case AdversaryMode::Babbling:
+      return "babbling";
+  }
+  return "?";
+}
+
+AdversaryMode adversary_mode_from_string(const std::string& s) {
+  for (int m = 0; m <= static_cast<int>(AdversaryMode::Babbling); ++m) {
+    if (s == to_string(static_cast<AdversaryMode>(m))) {
+      return static_cast<AdversaryMode>(m);
+    }
+  }
+  throw std::invalid_argument("unknown adversary mode: \"" + s + "\"");
+}
+
+Adversary::Adversary(NodeId self, NodeId node_space, Config cfg,
+                     std::uint64_t trial_seed)
+    : self_(self),
+      node_space_(node_space),
+      cfg_(cfg),
+      rng_(Rng::stream_seed(trial_seed ^ kAdversarySalt,
+                            static_cast<std::uint64_t>(self))) {
+  if (cfg_.replay_depth > 0) ring_.reserve(static_cast<std::size_t>(cfg_.replay_depth));
+}
+
+bool Adversary::tamper_reply(NodeId peer, proto::QueryReply& reply) {
+  switch (cfg_.mode) {
+    case AdversaryMode::Lying: {
+      if (!rng_.chance(cfg_.intensity)) return false;
+      // Advertise a forged neighborhood: drop each real entry with p=0.5
+      // and invent a phantom neighbor, so the querier's ReplyDb holds a
+      // stale/false picture of the adversary's connectivity.
+      std::vector<NodeId> forged;
+      forged.reserve(reply.nc.size() + 1);
+      for (NodeId n : reply.nc) {
+        if (!rng_.chance(0.5)) forged.push_back(n);
+      }
+      if (node_space_ > 0) {
+        forged.push_back(static_cast<NodeId>(
+            rng_.next_below(static_cast<std::uint64_t>(node_space_))));
+      }
+      reply.nc = std::move(forged);
+      // Claim stale rounds for advertised rule owners.
+      for (auto& s : reply.rule_owners) {
+        if (rng_.chance(0.5)) {
+          s.tag.epoch = static_cast<std::uint32_t>(
+              (s.tag.epoch + proto::kTagDomain - 1 -
+               rng_.next_below(8)) % proto::kTagDomain);
+        }
+      }
+      return true;
+    }
+    case AdversaryMode::Equivocating: {
+      if (!rng_.chance(cfg_.intensity)) return false;
+      // Peer-derived tag skew: distinct queriers receive distinct round
+      // tags for the same logical round, so no two of them can agree on
+      // this node's configuration. The skew is a pure function of the peer
+      // id (plus one draw for reproducibility bookkeeping), not of query
+      // arrival order.
+      const std::uint32_t skew = static_cast<std::uint32_t>(
+          1 + (Rng::stream_seed(rng_.next_u64() & 0xff,
+                                static_cast<std::uint64_t>(peer)) %
+               7));
+      reply.tag_for_querier.epoch =
+          static_cast<std::uint32_t>((reply.tag_for_querier.epoch + skew) %
+                                     proto::kTagDomain);
+      return true;
+    }
+    case AdversaryMode::Corrupting:
+    case AdversaryMode::Babbling:
+      return false;  // these act on whole frames in the send path
+  }
+  return false;
+}
+
+proto::PayloadPtr Adversary::corrupt_frame(const proto::Payload& p) {
+  if (cfg_.mode != AdversaryMode::Corrupting) return nullptr;
+  if (!rng_.chance(cfg_.intensity)) return nullptr;
+  return std::make_shared<const proto::Payload>(
+      proto::corrupt_payload(p, rng_, node_space_));
+}
+
+std::optional<Adversary::Replay> Adversary::note_and_babble(
+    NodeId peer, const proto::PayloadPtr& frame, std::uint32_t bytes) {
+  if (cfg_.mode != AdversaryMode::Babbling || cfg_.replay_depth <= 0) {
+    return std::nullopt;
+  }
+  std::optional<Replay> replay;
+  if (!ring_.empty() && rng_.chance(cfg_.intensity)) {
+    replay = ring_[rng_.next_below(ring_.size())];
+  }
+  const Replay entry{peer, frame, bytes};
+  if (ring_.size() < static_cast<std::size_t>(cfg_.replay_depth)) {
+    ring_.push_back(entry);
+  } else {
+    ring_[ring_pos_] = entry;
+    ring_pos_ = (ring_pos_ + 1) % ring_.size();
+  }
+  return replay;
+}
+
+}  // namespace ren::faults

@@ -17,6 +17,8 @@ struct LinkFaults {
   double duplicate = 0.0;  ///< duplication probability
   double reorder = 0.0;    ///< probability of an extra, random delay
   Time reorder_delay_max = 0;  ///< max extra delay for reordered packets
+  double corrupt = 0.0;    ///< payload corruption probability (in-band
+                           ///< channel faults; see proto/mutate.hpp)
 };
 
 struct LinkParams {
@@ -49,6 +51,12 @@ class Link {
   [[nodiscard]] NodeId b() const { return b_; }
   [[nodiscard]] NodeId other(NodeId n) const { return n == a_ ? b_ : a_; }
   [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Swap the fault profile at runtime (harness/barrier context only —
+  /// scenario events such as channel-corruption storms). Latency, bandwidth
+  /// and queue state are untouched, so in-flight packets keep their
+  /// schedules.
+  void set_faults(const LinkFaults& f) { params_.faults = f; }
 
   [[nodiscard]] LinkState state() const { return state_; }
   [[nodiscard]] bool operational() const {

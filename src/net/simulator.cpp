@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "proto/mutate.hpp"
 #include "util/log.hpp"
 
 namespace ren::net {
@@ -24,6 +25,7 @@ void Counters::merge_from(Counters& other) {
   drops_ttl += other.drops_ttl;
   drops_no_rule += other.drops_no_rule;
   drops_ambiguous_rule += other.drops_ambiguous_rule;
+  packets_corrupted += other.packets_corrupted;
   control_bytes_sent += other.control_bytes_sent;
   max_control_message_bytes =
       std::max(max_control_message_bytes, other.max_control_message_bytes);
@@ -58,6 +60,7 @@ std::uint64_t Counters::fingerprint() const {
   mix(drops_ttl);
   mix(drops_no_rule);
   mix(drops_ambiguous_rule);
+  mix(packets_corrupted);
   mix(control_bytes_sent);
   mix(max_control_message_bytes);
   for (const auto* v :
@@ -529,6 +532,17 @@ void Simulator::send(NodeId from, NodeId to, Packet packet) {
   if (plan.dropped) {
     ++c.drops_queue;
     return;
+  }
+  // In-band channel corruption: replace the payload with a field-permuted
+  // deep copy (proto/mutate.hpp). Gated on the probability so zero-knob
+  // runs draw nothing extra and stay byte-identical; the draw comes from
+  // the sender's stream like every other per-packet fault.
+  const double pc = link->params().faults.corrupt;
+  if (pc > 0 && packet.payload != nullptr && r.chance(pc)) {
+    packet.payload = std::make_shared<const proto::Payload>(
+        proto::corrupt_payload(*packet.payload, r,
+                               static_cast<NodeId>(node_count())));
+    ++c.packets_corrupted;
   }
 
   const int link_index = link->index();

@@ -55,6 +55,7 @@ struct Counters {
   std::uint64_t drops_ttl = 0;
   std::uint64_t drops_no_rule = 0;
   std::uint64_t drops_ambiguous_rule = 0;
+  std::uint64_t packets_corrupted = 0;  ///< in-band channel corruption hits
   std::uint64_t control_bytes_sent = 0;
   std::uint64_t max_control_message_bytes = 0;
 

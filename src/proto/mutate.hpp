@@ -1,0 +1,162 @@
+// Deterministic message/payload corruption primitives.
+//
+// Shared by the in-band channel-fault hook (`net::LinkFaults::corrupt`) and
+// the Byzantine adversary model (`faults::Adversary`): both need to turn a
+// well-formed control message into a *plausible but wrong* one — field
+// permutations, forged ids, stale tags — rather than random bytes, because
+// the variant-based payloads have no undefined bit patterns to flip. Every
+// mutation draws from a caller-supplied `Rng`, so corruption is exactly as
+// reproducible as the stream that feeds it, and never touches the shared
+// immutable originals: callers corrupt deep copies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+
+#include "proto/messages.hpp"
+#include "proto/payload.hpp"
+#include "proto/tag.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ren::proto {
+
+/// Forge a round tag: either claim a different owner (a node id drawn from
+/// `[0, node_space)`) or skew the epoch within the bounded tag domain.
+inline void corrupt_tag(Tag& t, Rng& rng, NodeId node_space) {
+  if (node_space > 0 && rng.chance(0.5)) {
+    t.owner = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(node_space)));
+  } else {
+    t.epoch = static_cast<std::uint32_t>(
+        (t.epoch + 1 + rng.next_below(kTagDomain - 1)) % kTagDomain);
+  }
+}
+
+/// Field-permute one command in place.
+inline void corrupt_command(Command& c, Rng& rng, NodeId node_space) {
+  std::visit(
+      [&](auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, NewRoundCmd> ||
+                      std::is_same_v<T, QueryCmd>) {
+          corrupt_tag(v.tag, rng, node_space);
+        } else if constexpr (std::is_same_v<T, UpdateRuleCmd>) {
+          corrupt_tag(v.tag, rng, node_space);
+        } else {
+          // DelMngr / AddMngr / DelAllRules: retarget the victim.
+          if (node_space > 0) {
+            v.k = static_cast<NodeId>(rng.next_below(
+                static_cast<std::uint64_t>(node_space)));
+          }
+        }
+      },
+      c);
+}
+
+/// Field-permute a control message in place. The result stays structurally
+/// valid (decodable) but semantically wrong — the regime Algorithm 2's
+/// consistency checks must survive.
+inline void corrupt_message(Message& m, Rng& rng, NodeId node_space) {
+  std::visit(
+      [&](auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, CommandBatch>) {
+          switch (rng.next_below(3)) {
+            case 0:  // forge the issuing controller
+              if (node_space > 0) {
+                v.from = static_cast<NodeId>(rng.next_below(
+                    static_cast<std::uint64_t>(node_space)));
+              }
+              break;
+            case 1:  // corrupt one command's fields
+              if (!v.commands.empty()) {
+                corrupt_command(v.commands[rng.next_below(v.commands.size())],
+                                rng, node_space);
+              }
+              break;
+            default:  // drop a command (truncated batch)
+              if (!v.commands.empty()) {
+                v.commands.erase(v.commands.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     rng.next_below(v.commands.size())));
+              }
+              break;
+          }
+        } else {  // QueryReply
+          switch (rng.next_below(4)) {
+            case 0:  // forged neighborhood: drop an edge or invent one
+              if (!v.nc.empty() && rng.chance(0.5)) {
+                v.nc.erase(v.nc.begin() + static_cast<std::ptrdiff_t>(
+                                               rng.next_below(v.nc.size())));
+              } else if (node_space > 0) {
+                v.nc.push_back(static_cast<NodeId>(rng.next_below(
+                    static_cast<std::uint64_t>(node_space))));
+              }
+              break;
+            case 1:  // stale/forged round tag
+              corrupt_tag(v.tag_for_querier, rng, node_space);
+              break;
+            case 2:  // forge a rule-owner summary (phantom or stale rules)
+              if (!v.rule_owners.empty()) {
+                auto& s = v.rule_owners[rng.next_below(v.rule_owners.size())];
+                if (rng.chance(0.5)) {
+                  corrupt_tag(s.tag, rng, node_space);
+                } else {
+                  s.count = static_cast<std::uint32_t>(rng.next_below(1024));
+                }
+              } else {
+                corrupt_tag(v.tag_for_querier, rng, node_space);
+              }
+              break;
+            default:  // impersonate another respondent
+              if (node_space > 0) {
+                v.id = static_cast<NodeId>(rng.next_below(
+                    static_cast<std::uint64_t>(node_space)));
+              }
+              break;
+          }
+        }
+      },
+      m);
+}
+
+/// Deep-copy + corrupt a packet payload. Control frames get their message
+/// field-permuted (and occasionally a flipped transport label, modelling a
+/// damaged token); probes and data segments get bit-skewed counters. The
+/// original shared payload is never modified.
+[[nodiscard]] inline Payload corrupt_payload(const Payload& p, Rng& rng,
+                                             NodeId node_space) {
+  return std::visit(
+      [&](const auto& v) -> Payload {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Frame>) {
+          Frame f = v;
+          if (f.payload && !rng.chance(0.25)) {
+            Message m = *f.payload;
+            corrupt_message(m, rng, node_space);
+            f.payload = make_message(std::move(m));
+          } else {
+            f.label ^= static_cast<std::uint32_t>(1 + rng.next_below(3));
+          }
+          return f;
+        } else if constexpr (std::is_same_v<T, Segment>) {
+          Segment s = v;
+          if (s.is_ack) {
+            s.ack ^= std::uint64_t{1} << rng.next_below(16);
+          } else {
+            s.seq ^= std::uint64_t{1} << rng.next_below(16);
+          }
+          return s;
+        } else {
+          // Probe / ProbeReply: skew the round counter.
+          T probe = v;
+          probe.round ^= std::uint64_t{1} << rng.next_below(16);
+          return probe;
+        }
+      },
+      p);
+}
+
+}  // namespace ren::proto

@@ -69,8 +69,20 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("json: " + what + " at offset " +
-                             std::to_string(pos_));
+    // Report the position as line:column (1-based) — spec files are edited
+    // by hand, and editors jump to lines, not byte offsets.
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("json: " + what + " at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(col));
   }
 
   void skip_ws() {

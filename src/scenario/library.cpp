@@ -138,6 +138,42 @@ Scenario failover_under_load() {
   return s;
 }
 
+/// Byzantine controllers (Section 7's adversarial discussion): a subset of
+/// controllers starts lying about its ReplyDb and corrupting its outbound
+/// frames mid-run, then is cured; the stabilization watchdog records time
+/// below legitimacy, episode count, blast radius, and re-stabilization.
+Scenario byzantine_controller() {
+  Scenario s;
+  s.name = "byzantine_controller";
+  s.description =
+      "one controller turns Byzantine (lying + corrupting), is cured at "
+      "t=35s; watchdog measures the damage and the recovery";
+  s.expect_converged(sec(0), "bootstrap", sec(120));
+  s.start_adversary(sec(5), "lying");
+  s.start_adversary(sec(5), "corrupting");
+  s.stop_adversary(sec(35));
+  s.expect_converged(sec(35), "restabilize", sec(180));
+  return s;
+}
+
+/// An in-band channel-fault storm: every link simultaneously corrupts,
+/// loses, duplicates and reorders packets for a window, then the fault
+/// profile is restored and recovery is measured. Exercises the message-level
+/// corruption path (proto/mutate.hpp) end to end.
+Scenario channel_corruption_storm() {
+  Scenario s;
+  s.name = "channel_corruption_storm";
+  s.description =
+      "30s all-links corruption/loss/duplication storm, then restore the "
+      "channel and measure re-stabilization";
+  s.expect_converged(sec(0), "bootstrap", sec(120));
+  s.channel_faults(sec(5), /*loss=*/0.05, /*corrupt=*/0.10,
+                   /*duplicate=*/0.02, /*reorder=*/0.05);
+  s.stop_adversary(sec(35));
+  s.expect_converged(sec(35), "recover", sec(180));
+  return s;
+}
+
 }  // namespace
 
 std::vector<std::string> builtin_names() {
@@ -145,8 +181,9 @@ std::vector<std::string> builtin_names() {
       "rolling_restart",        "flapping_links",
       "link_flap_storm",        "cascading_switch_failures",
       "corruption_under_churn", "partition_and_heal",
-      "failover_under_load",    "throughput_window"};
-  static_assert(kBuiltinCount == 8,
+      "failover_under_load",    "throughput_window",
+      "byzantine_controller",   "channel_corruption_storm"};
+  static_assert(kBuiltinCount == 10,
                 "update builtin_names(), builtin() and kBuiltinCount "
                 "together");
   return names;
@@ -161,6 +198,8 @@ Scenario builtin(const std::string& name) {
   if (name == "partition_and_heal") return partition_and_heal();
   if (name == "failover_under_load") return failover_under_load();
   if (name == "throughput_window") return throughput_window();
+  if (name == "byzantine_controller") return byzantine_controller();
+  if (name == "channel_corruption_storm") return channel_corruption_storm();
   std::string known;
   for (const auto& n : builtin_names()) known += " " + n;
   throw std::invalid_argument("unknown scenario \"" + name +

@@ -56,6 +56,13 @@ TrialOutcome outcome_from_raw(const Json& rj) {
   out.commands = member(rj, "commands").as_number();
   out.illegitimate_deletions =
       member(rj, "illegitimate_deletions").as_number();
+  if (const Json* w = rj.find("watchdog"); w != nullptr) {
+    out.has_watchdog = true;
+    out.wd_below_s = member(*w, "below_s").as_number();
+    out.wd_episodes = static_cast<int>(member(*w, "episodes").as_number());
+    out.wd_blast_radius = member(*w, "blast_radius").as_number();
+    out.wd_restabilized = member(*w, "restabilized").as_bool();
+  }
   if (const Json* t = rj.find("traffic_mbits"); t != nullptr) {
     out.has_traffic = true;
     out.traffic_mbits = t->as_number();

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <thread>
 
+#include "faults/adversary.hpp"
 #include "faults/injector.hpp"
+#include "net/link.hpp"
 #include "sim/experiment.hpp"
+#include "switchd/abstract_switch.hpp"
 #include "tcp/host.hpp"
 #include "topo/source.hpp"
 #include "util/rng.hpp"
@@ -143,7 +147,15 @@ class TrialExecutor {
         // The scenario fault stream is separate from the experiment's
         // internal streams so adding internal randomness never reshuffles
         // which victims a scenario picks.
-        fault_rng_(mix64(seed ^ 0x5ce9a5ce9a5ce9aULL)) {
+        fault_rng_(mix64(seed ^ 0x5ce9a5ce9a5ce9aULL)),
+        seed_(seed) {
+    // The stabilization watchdog arms only for adversarial scenarios: its
+    // fine-grained advance + sampling would otherwise change nothing but
+    // still run, and benign campaign reports must stay byte-identical to
+    // pre-watchdog output.
+    wd_active_ = std::any_of(
+        s.events.begin(), s.events.end(),
+        [](const Event& e) { return e.kind == EventKind::StartAdversary; });
     auto cfg =
         profile_config(s, topology, controllers, axes, seed, opt.paper_timers);
     cfg.with_hosts = s.needs_hosts();
@@ -166,7 +178,7 @@ class TrialExecutor {
   TrialOutcome run() {
     TrialOutcome out;
     for (const Event& ev : scenario_.expanded_events()) {
-      if (exp_->sim().now() < ev.at) exp_->sim().run_until(ev.at);
+      if (exp_->sim().now() < ev.at) advance_to(ev.at);
       apply(ev, out);
     }
     finish(out);
@@ -231,6 +243,7 @@ class TrialExecutor {
         break;
       }
       case EventKind::ExpectConverged: {
+        if (wd_active_) wd_sample();
         const auto r = exp_->run_until_legitimate(ev.limit);
         TrialOutcome::Checkpoint cp;
         cp.label = ev.label;
@@ -247,10 +260,183 @@ class TrialExecutor {
                                   static_cast<double>(r.iterations[k]) / nodes;
           cp.cmd_per_node_iter = std::max(cp.cmd_per_node_iter, per_node);
         }
+        if (wd_active_) {
+          // The checkpoint's verdict is the monitor's at the current epoch,
+          // so fold it in directly and let the next epoch-gated sample
+          // short-circuit off it.
+          wd_epoch_ = exp_->monitor().stack_epoch();
+          wd_account(exp_->sim().now(), r.converged);
+        }
         out.checkpoints.push_back(std::move(cp));
         break;
       }
+      case EventKind::StartAdversary:
+        start_adversary(ev);
+        break;
+      case EventKind::StopAdversary:
+        stop_adversary();
+        break;
     }
+  }
+
+  // --- Adversary lifecycle + stabilization watchdog -----------------------
+
+  /// Advance simulated time to `target`. Adversarial trials sample the
+  /// legitimacy monitor every monitor_interval along the way (epoch-gated,
+  /// so quiet stretches cost pointer reads); benign trials take the single
+  /// jump and execute the exact pre-watchdog event schedule.
+  void advance_to(Time target) {
+    if (!wd_active_) {
+      exp_->sim().run_until(target);
+      return;
+    }
+    const Time step = std::max<Time>(exp_->config().monitor_interval, 1);
+    while (exp_->sim().now() < target) {
+      // now() only advances by executing events: aim each step at the next
+      // pending event so an empty window can never spin this loop.
+      const Time next = exp_->sim().next_event_time();
+      if (next == kTimeNever || next > target) break;  // nothing before target
+      exp_->sim().run_until(
+          std::min(target, std::max(next, exp_->sim().now() + step)));
+      wd_sample();
+    }
+  }
+
+  /// One watchdog sample: consult the monitor (replaying the last verdict
+  /// when the stack epoch is unchanged) and fold it into the accounting.
+  void wd_sample() {
+    const std::uint64_t e = exp_->monitor().stack_epoch();
+    const bool legit = (wd_have_verdict_ && e == wd_epoch_)
+                           ? wd_last_legit_
+                           : exp_->monitor().check().legitimate;
+    wd_epoch_ = e;
+    wd_account(exp_->sim().now(), legit);
+  }
+
+  /// Fold one (time, verdict) sample into the watchdog counters. Time below
+  /// legitimacy accumulates only after the first legitimate sample (the
+  /// bootstrap climb is not an outage); an episode is each legitimate ->
+  /// illegitimate edge. Resolution is the sampling step (monitor_interval).
+  void wd_account(Time t, bool legit) {
+    if (wd_have_verdict_ && wd_seen_legit_ && !wd_last_legit_) {
+      wd_below_ += t - wd_last_t_;
+    }
+    if (wd_have_verdict_ && wd_last_legit_ && !legit) ++wd_episodes_;
+    if (legit) wd_seen_legit_ = true;
+    wd_have_verdict_ = true;
+    wd_last_legit_ = legit;
+    wd_last_t_ = t;
+  }
+
+  /// Snapshot every switch's change epoch at the first adversary start of a
+  /// window — the blast-radius baseline.
+  void wd_arm_blast() {
+    if (wd_blast_armed_) return;
+    wd_blast_armed_ = true;
+    wd_epoch_snapshot_.clear();
+    for (auto* sw : exp_->switches()) {
+      wd_epoch_snapshot_[sw->id()] = sw->change_epoch();
+    }
+  }
+
+  /// Blast radius: the fraction of switches whose manager/rule state moved
+  /// since the adversary window opened. Conservative — it counts switches
+  /// the adversary touched transiently even if they were repaired before
+  /// the window closed (and any concurrent benign churn).
+  void wd_measure_blast() {
+    if (!wd_blast_armed_ || wd_epoch_snapshot_.empty()) return;
+    double diverged = 0;
+    for (auto* sw : exp_->switches()) {
+      auto it = wd_epoch_snapshot_.find(sw->id());
+      if (it != wd_epoch_snapshot_.end() && sw->change_epoch() != it->second) {
+        diverged += 1;
+      }
+    }
+    wd_blast_ = std::max(
+        wd_blast_, diverged / static_cast<double>(wd_epoch_snapshot_.size()));
+    wd_blast_armed_ = false;
+  }
+
+  void start_adversary(const Event& ev) {
+    wd_arm_blast();
+    if (ev.mode == "channel") {
+      auto& net = exp_->sim().network();
+      if (baseline_faults_.empty()) {
+        baseline_faults_.reserve(net.link_count());
+        for (std::size_t i = 0; i < net.link_count(); ++i) {
+          baseline_faults_.push_back(
+              net.link(static_cast<int>(i)).params().faults);
+        }
+      }
+      for (std::size_t i = 0; i < net.link_count(); ++i) {
+        net::LinkFaults f = baseline_faults_[i];
+        if (ev.loss > 0) f.loss = ev.loss;
+        if (ev.duplicate > 0) f.duplicate = ev.duplicate;
+        if (ev.reorder > 0) {
+          f.reorder = ev.reorder;
+          if (f.reorder_delay_max <= 0) {
+            f.reorder_delay_max = 4 * exp_->config().link_latency;
+          }
+        }
+        if (ev.corrupt > 0) f.corrupt = ev.corrupt;
+        net.link(static_cast<int>(i)).set_faults(f);
+      }
+      storm_active_ = true;
+      return;
+    }
+    faults::Adversary::Config acfg;
+    acfg.mode = faults::adversary_mode_from_string(ev.mode);
+    acfg.intensity = ev.intensity;
+    const auto node_space =
+        static_cast<NodeId>(exp_->sim().network().node_count());
+    const int want = victim_count(ev);
+    // Victims are drawn from the scenario fault stream over the candidates
+    // in id order, like every other injection — adding adversaries never
+    // reshuffles which nodes earlier events picked.
+    if (ev.target == "switch") {
+      std::vector<switchd::AbstractSwitch*> cand;
+      for (auto* sw : exp_->switches()) {
+        if (sw->alive() && sw->adversary() == nullptr) cand.push_back(sw);
+      }
+      for (int k = 0; k < want && !cand.empty(); ++k) {
+        const auto pick =
+            static_cast<std::size_t>(fault_rng_.next_below(cand.size()));
+        auto* sw = cand[pick];
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(pick));
+        adversaries_.push_back(std::make_unique<faults::Adversary>(
+            sw->id(), node_space, acfg, seed_));
+        sw->set_adversary(adversaries_.back().get());
+      }
+    } else {
+      std::vector<core::Controller*> cand;
+      for (auto* c : exp_->controllers()) {
+        if (c->alive() && c->adversary() == nullptr) cand.push_back(c);
+      }
+      for (int k = 0; k < want && !cand.empty(); ++k) {
+        const auto pick =
+            static_cast<std::size_t>(fault_rng_.next_below(cand.size()));
+        auto* c = cand[pick];
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(pick));
+        adversaries_.push_back(std::make_unique<faults::Adversary>(
+            c->id(), node_space, acfg, seed_));
+        c->set_adversary(adversaries_.back().get());
+      }
+    }
+  }
+
+  void stop_adversary() {
+    wd_measure_blast();
+    for (auto* c : exp_->controllers()) c->set_adversary(nullptr);
+    for (auto* sw : exp_->switches()) sw->set_adversary(nullptr);
+    adversaries_.clear();
+    if (storm_active_) {
+      auto& net = exp_->sim().network();
+      for (std::size_t i = 0; i < baseline_faults_.size(); ++i) {
+        net.link(static_cast<int>(i)).set_faults(baseline_faults_[i]);
+      }
+      storm_active_ = false;
+    }
+    wd_stopped_ = true;
   }
 
   void start_traffic(const std::string& label) {
@@ -335,6 +521,15 @@ class TrialExecutor {
       out.has_traffic = true;
       out.traffic_mbits = out.windows.front().mbits;
     }
+    if (wd_active_) {
+      wd_sample();
+      wd_measure_blast();  // adversary still live: measure at trial end
+      out.has_watchdog = true;
+      out.wd_below_s = to_seconds(wd_below_);
+      out.wd_episodes = wd_episodes_;
+      out.wd_blast_radius = wd_blast_;
+      out.wd_restabilized = wd_stopped_ && wd_last_legit_;
+    }
     out.counters_fp = exp_->sim().counters().fingerprint();
   }
 
@@ -350,6 +545,24 @@ class TrialExecutor {
   std::vector<std::unique_ptr<tcp::FlowStats>> retired_stats_;
   std::string window_label_;
   Time traffic_start_ = 0;
+  std::uint64_t seed_ = 0;  ///< the trial seed (adversary stream derivation)
+
+  // --- Adversary + stabilization-watchdog state (adversarial trials only) --
+  std::vector<std::unique_ptr<faults::Adversary>> adversaries_;
+  std::vector<net::LinkFaults> baseline_faults_;  ///< pre-storm per-link
+  bool storm_active_ = false;
+  bool wd_active_ = false;        ///< scenario contains a StartAdversary
+  bool wd_have_verdict_ = false;  ///< at least one sample folded in
+  bool wd_last_legit_ = false;
+  bool wd_seen_legit_ = false;    ///< first legitimate sample reached
+  std::uint64_t wd_epoch_ = 0;    ///< stack epoch of the last fresh check
+  Time wd_last_t_ = 0;
+  Time wd_below_ = 0;             ///< accumulated time below legitimacy
+  int wd_episodes_ = 0;
+  bool wd_stopped_ = false;       ///< a stop_adversary event ran
+  double wd_blast_ = 0;
+  bool wd_blast_armed_ = false;
+  std::map<NodeId, std::uint64_t> wd_epoch_snapshot_;
 };
 
 }  // namespace
@@ -384,6 +597,14 @@ Json trial_outcome_json(const TrialOutcome& out) {
   rj.set("messages", out.messages);
   rj.set("commands", out.commands);
   rj.set("illegitimate_deletions", out.illegitimate_deletions);
+  if (out.has_watchdog) {
+    Json wj;
+    wj.set("below_s", out.wd_below_s);
+    wj.set("episodes", out.wd_episodes);
+    wj.set("blast_radius", out.wd_blast_radius);
+    wj.set("restabilized", out.wd_restabilized);
+    rj.set("watchdog", std::move(wj));
+  }
   if (out.has_traffic) rj.set("traffic_mbits", out.traffic_mbits);
   return rj;
 }
@@ -562,6 +783,7 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
   cr.controllers = controllers;
   cr.axes = std::move(axes);
   Sample messages, commands, violations, traffic;
+  Sample wd_below, wd_episodes, wd_blast;
   // label -> aggregation slot, in first-seen (timeline) order
   std::vector<std::string> labels;
   std::vector<Sample> cp_seconds, cp_rate;
@@ -586,6 +808,13 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
     if (out.has_traffic) {
       cr.has_traffic = true;
       traffic.add(out.traffic_mbits);
+    }
+    if (out.has_watchdog) {
+      cr.has_watchdog = true;
+      wd_below.add(out.wd_below_s);
+      wd_episodes.add(out.wd_episodes);
+      wd_blast.add(out.wd_blast_radius);
+      cr.wd_restabilized += out.wd_restabilized ? 1 : 0;
     }
     for (std::size_t k = 0; k < out.checkpoints.size(); ++k) {
       const auto& c = out.checkpoints[k];
@@ -647,6 +876,9 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
   cr.commands = commands.percentiles();
   cr.illegitimate_deletions = violations.percentiles();
   cr.traffic_mbits = traffic.percentiles();
+  cr.wd_below_s = wd_below.percentiles();
+  cr.wd_episodes = wd_episodes.percentiles();
+  cr.wd_blast_radius = wd_blast.percentiles();
   return cr;
 }
 
@@ -706,6 +938,14 @@ Json CampaignResult::to_json() const {
     cj.set("messages", summary_json(c.messages));
     cj.set("commands", summary_json(c.commands));
     cj.set("illegitimate_deletions", summary_json(c.illegitimate_deletions));
+    if (c.has_watchdog) {
+      Json wj;
+      wj.set("below_s", summary_json(c.wd_below_s));
+      wj.set("episodes", summary_json(c.wd_episodes));
+      wj.set("blast_radius", summary_json(c.wd_blast_radius));
+      wj.set("restabilized", c.wd_restabilized);
+      cj.set("watchdog", std::move(wj));
+    }
     if (c.has_traffic) cj.set("traffic_mbits", summary_json(c.traffic_mbits));
     if (!c.raw.empty()) {
       Json raws{JsonArray{}};

@@ -95,6 +95,18 @@ struct TrialOutcome {
   double illegitimate_deletions = 0;  ///< deletions that hit live peers
   bool has_traffic = false;
   double traffic_mbits = 0;  ///< mean goodput of the first traffic window
+  /// Stabilization-watchdog record (LegitimacyMonitor layered over the
+  /// adversary window). Present — and emitted in the JSON — only for trials
+  /// whose scenario contains a StartAdversary event, so benign campaigns
+  /// stay byte-identical to pre-watchdog reports.
+  bool has_watchdog = false;
+  double wd_below_s = 0;   ///< simulated seconds below legitimacy (after the
+                           ///< first legitimate sample)
+  int wd_episodes = 0;     ///< distinct legitimate->illegitimate transitions
+  double wd_blast_radius = 0;  ///< max fraction of switches whose rule/
+                               ///< manager state diverged while adversarial
+  bool wd_restabilized = false;  ///< legitimate again after the last
+                                 ///< stop_adversary
   /// Order-independent digest of the trial's final simulator Counters. Not
   /// part of the JSON rendering (shard-merged reports stay byte-identical);
   /// used by --paranoid-sim and the determinism tests.
@@ -137,6 +149,12 @@ struct CellResult {
   PercentileSummary illegitimate_deletions;
   bool has_traffic = false;
   PercentileSummary traffic_mbits;
+  /// Stabilization-watchdog aggregates (adversarial scenarios only).
+  bool has_watchdog = false;
+  PercentileSummary wd_below_s;
+  PercentileSummary wd_episodes;
+  PercentileSummary wd_blast_radius;
+  int wd_restabilized = 0;  ///< trials that re-stabilized after stop
   /// Raw per-trial samples, populated when RunnerOptions::include_raw:
   /// (trial index, outcome) for every trial this process executed.
   std::vector<std::pair<int, TrialOutcome>> raw;

@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "faults/adversary.hpp"
 #include "sim/experiment.hpp"
 
 namespace ren::scenario {
@@ -22,12 +23,14 @@ const char* to_string(EventKind k) {
     case EventKind::StopTraffic: return "stop_traffic";
     case EventKind::FailPathLink: return "fail_path_link";
     case EventKind::ExpectConverged: return "expect_converged";
+    case EventKind::StartAdversary: return "start_adversary";
+    case EventKind::StopAdversary: return "stop_adversary";
   }
   return "?";
 }
 
 EventKind event_kind_from_string(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::ExpectConverged); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::StopAdversary); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -49,6 +52,29 @@ int checked_count(int count) {
         "Scenario: event count must be >= 1 or kCountAxis");
   }
   return count;
+}
+
+/// Shared StartAdversary validation (builder API and spec parser): the mode
+/// must name an adversary mode or "channel", intensity is a probability, and
+/// channel fault probabilities must leave room for delivery.
+void check_adversary_event(const Event& e, const std::string& where) {
+  if (e.mode != "channel") {
+    (void)faults::adversary_mode_from_string(e.mode);  // throws on unknown
+    if (e.target != "controller" && e.target != "switch") {
+      throw std::invalid_argument(where + ": target must be \"controller\" or "
+                                          "\"switch\", got \"" + e.target +
+                                  "\"");
+    }
+  }
+  if (e.intensity < 0.0 || e.intensity > 1.0) {
+    throw std::invalid_argument(where + ": intensity must be in [0, 1]");
+  }
+  for (double p : {e.loss, e.duplicate, e.reorder, e.corrupt}) {
+    if (p < 0.0 || p >= 1.0) {
+      throw std::invalid_argument(
+          where + ": channel fault probabilities must be in [0, 1)");
+    }
+  }
 }
 
 }  // namespace
@@ -128,6 +154,36 @@ Scenario& Scenario::fail_path_link(Time at, Time detection) {
   Event e = make_event(at, EventKind::FailPathLink);
   e.detection = detection;
   events.push_back(e);
+  return *this;
+}
+
+Scenario& Scenario::start_adversary(Time at, std::string mode, int count,
+                                    double intensity, std::string target) {
+  Event e = make_event(at, EventKind::StartAdversary);
+  e.mode = std::move(mode);
+  e.count = checked_count(count);
+  e.intensity = intensity;
+  e.target = std::move(target);
+  check_adversary_event(e, "Scenario::start_adversary");
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::channel_faults(Time at, double loss, double corrupt,
+                                   double duplicate, double reorder) {
+  Event e = make_event(at, EventKind::StartAdversary);
+  e.mode = "channel";
+  e.loss = loss;
+  e.corrupt = corrupt;
+  e.duplicate = duplicate;
+  e.reorder = reorder;
+  check_adversary_event(e, "Scenario::channel_faults");
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::stop_adversary(Time at) {
+  events.push_back(make_event(at, EventKind::StopAdversary));
   return *this;
 }
 
@@ -268,6 +324,19 @@ Json to_spec_json(const Scenario& s) {
       case EventKind::ExpectConverged:
         ev.set("label", e.label);
         ev.set("limit_ms", e.limit / 1000);
+        break;
+      case EventKind::StartAdversary:
+        ev.set("mode", e.mode);
+        if (e.mode == "channel") {
+          if (e.loss > 0) ev.set("loss", e.loss);
+          if (e.duplicate > 0) ev.set("duplicate", e.duplicate);
+          if (e.reorder > 0) ev.set("reorder", e.reorder);
+          if (e.corrupt > 0) ev.set("corrupt", e.corrupt);
+        } else {
+          set_count(e.count);
+          if (e.intensity != 1.0) ev.set("intensity", e.intensity);
+          if (e.target != "controller") ev.set("target", e.target);
+        }
         break;
       default:
         break;
@@ -411,14 +480,22 @@ Scenario parse_spec_json(const Json& doc) {
   s.calibrate_rtt = doc.bool_or("calibrate_rtt", false);
   s.max_events = spec_uint(doc, "max_events", 0, "max_events");
   if (const Json* evs = doc.find("events")) {
+    std::size_t idx = 0;
     for (const Json& ej : evs->as_array()) {
+      const std::string where = "events[" + std::to_string(idx++) + "]";
       reject_unknown_keys(ej,
                           {"at_ms", "kind", "count", "keep_connected", "label",
-                           "limit_ms", "detection_ms", "every_ms", "repeat"},
-                          "event");
+                           "limit_ms", "detection_ms", "every_ms", "repeat",
+                           "mode", "intensity", "target", "loss", "duplicate",
+                           "reorder", "corrupt"},
+                          where);
       Event e;
       e.at = msec(static_cast<std::int64_t>(ej.number_or("at_ms", 0)));
-      e.kind = event_kind_from_string(ej.string_or("kind", ""));
+      try {
+        e.kind = event_kind_from_string(ej.string_or("kind", ""));
+      } catch (const std::invalid_argument& ex) {
+        throw std::invalid_argument("spec: " + where + ": " + ex.what());
+      }
       if (const Json* cj = ej.find("count")) {
         if (cj->kind() == Json::Kind::String) {
           if (cj->as_string() != "axis") {
@@ -441,6 +518,20 @@ Scenario parse_spec_json(const Json& doc) {
       if (e.detection < 0)
         throw std::runtime_error("spec: detection_ms must be >= 0");
       e.label = ej.string_or("label", "");
+      e.mode = ej.string_or("mode", "");
+      e.intensity = ej.number_or("intensity", 1.0);
+      e.target = ej.string_or("target", "controller");
+      e.loss = ej.number_or("loss", 0.0);
+      e.duplicate = ej.number_or("duplicate", 0.0);
+      e.reorder = ej.number_or("reorder", 0.0);
+      e.corrupt = ej.number_or("corrupt", 0.0);
+      if (e.kind == EventKind::StartAdversary) {
+        try {
+          check_adversary_event(e, "start_adversary");
+        } catch (const std::invalid_argument& ex) {
+          throw std::invalid_argument("spec: " + where + ": " + ex.what());
+        }
+      }
       e.every = msec(static_cast<std::int64_t>(ej.number_or("every_ms", 0)));
       e.repeat = static_cast<int>(ej.number_or("repeat", 1));
       // Periodicity needs both halves: "every_ms" without "repeat" would

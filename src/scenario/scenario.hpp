@@ -30,6 +30,8 @@ enum class EventKind {
   StopTraffic,      ///< close the open traffic window (stop the sender)
   FailPathLink,     ///< fail a link on the current data path (Figs. 15-20)
   ExpectConverged,  ///< checkpoint: wait for legitimacy, record the time
+  StartAdversary,   ///< attach Byzantine adversaries / start a channel storm
+  StopAdversary,    ///< detach every adversary, restore link fault baselines
 };
 
 [[nodiscard]] const char* to_string(EventKind k);
@@ -61,6 +63,19 @@ struct Event {
   /// first get a "_k" label suffix so checkpoints stay distinguishable.
   Time every = 0;
   int repeat = 1;
+  /// StartAdversary: "lying" | "equivocating" | "corrupting" | "babbling"
+  /// attach per-node adversaries to `count` victims, "channel" sets the
+  /// link-level fault probabilities below on every link instead.
+  std::string mode;
+  double intensity = 1.0;  ///< node modes: per-interposition probability
+  /// Node modes: which node class to compromise ("controller" | "switch").
+  std::string target = "controller";
+  /// Channel ("channel" mode) per-link fault probabilities; a zero keeps
+  /// the link's baseline value for that fault.
+  double loss = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
 
   bool operator==(const Event&) const = default;
 };
@@ -130,6 +145,21 @@ struct Scenario {
   /// Fail a link on the current data path (blackhole for `detection`, then
   /// permanently down) — the Figs. 15-20 mid-path failure.
   Scenario& fail_path_link(Time at, Time detection = msec(150));
+  /// Attach Byzantine adversaries (faults/adversary.hpp) to `count` random
+  /// live nodes of `target` class ("controller" or "switch"). `mode` is one
+  /// of "lying", "equivocating", "corrupting", "babbling"; `intensity` is
+  /// the per-interposition tamper probability. Activates the stabilization
+  /// watchdog for the trial.
+  Scenario& start_adversary(Time at, std::string mode, int count = 1,
+                            double intensity = 1.0,
+                            std::string target = "controller");
+  /// In-band channel-fault storm: set per-link fault probabilities on every
+  /// link (mode "channel"). Zeros keep the baseline value per fault.
+  Scenario& channel_faults(Time at, double loss, double corrupt,
+                           double duplicate = 0.0, double reorder = 0.0);
+  /// Detach every adversary and restore the per-link fault baselines; the
+  /// watchdog records whether the system re-stabilizes afterwards.
+  Scenario& stop_adversary(Time at);
   /// Add a generic sweep axis (or replace the values of an existing one).
   /// Throws std::invalid_argument on unknown names, out-of-domain values,
   /// or an empty value list — axis typos fail at build time, not mid-run.

@@ -114,6 +114,7 @@ void Experiment::build() {
   lp.faults.duplicate = config_.link_duplicate;
   lp.faults.reorder = config_.link_reorder;
   lp.faults.reorder_delay_max = 2 * config_.link_latency;
+  lp.faults.corrupt = config_.link_corrupt;
   for (int u = 0; u < n_switches; ++u) {
     for (int v : topo_.switch_graph.neighbors(u)) {
       if (u < v) sim_.add_link(u, v, lp);

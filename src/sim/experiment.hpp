@@ -46,6 +46,7 @@ struct ExperimentConfig {
   double link_loss = 0.0;
   double link_duplicate = 0.0;
   double link_reorder = 0.0;
+  double link_corrupt = 0.0;          ///< payload corruption probability
 
   Time monitor_interval = msec(250);  ///< legitimacy sampling ceiling
   /// Epoch-gated adaptive sampling: between checks the harness advances in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/adversary.hpp"
 #include "util/log.hpp"
 
 namespace ren::switchd {
@@ -98,6 +99,21 @@ void AbstractSwitch::forward_packet(const net::Packet& packet) {
 
 void AbstractSwitch::route_frame(NodeId peer, proto::PayloadPtr frame,
                                  std::uint32_t bytes) {
+  // Byzantine interposition on the outbound frame path (see Controller's
+  // route_frame): corrupt the frame and/or replay a remembered one.
+  if (adversary_ != nullptr) {
+    if (proto::PayloadPtr forged = adversary_->corrupt_frame(*frame)) {
+      frame = std::move(forged);
+    }
+    if (auto replay = adversary_->note_and_babble(peer, frame, bytes)) {
+      emit_frame(replay->peer, std::move(replay->frame), replay->bytes);
+    }
+  }
+  emit_frame(peer, std::move(frame), bytes);
+}
+
+void AbstractSwitch::emit_frame(NodeId peer, proto::PayloadPtr frame,
+                                std::uint32_t bytes) {
   net::Packet pkt = net::make_packet(id(), peer, std::move(frame), bytes);
   auto& counters = sim_->counters();
   counters.control_bytes_sent += pkt.bytes;
@@ -154,6 +170,9 @@ void AbstractSwitch::apply_batch(NodeId from, const proto::MessagePtr& message) 
             const auto meta = rules_.meta_tag(from);
             reply.tag_for_querier = meta.value_or(c.tag);
             reply.from_controller = false;
+            // Byzantine interposition: a compromised switch lies about its
+            // configuration or equivocates its round tag per querier.
+            if (adversary_ != nullptr) adversary_->tamper_reply(from, reply);
             endpoint_.submit(from, proto::Message{std::move(reply)});
           }
         },

@@ -27,6 +27,10 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace ren::faults {
+class Adversary;
+}
+
 namespace ren::switchd {
 
 class AbstractSwitch : public net::Node {
@@ -74,6 +78,12 @@ class AbstractSwitch : public net::Node {
   /// reply-routing state (tests / self-stabilization experiments).
   void corrupt_state(Rng& rng, NodeId node_space);
 
+  /// Attach/detach a Byzantine adversary (faults/adversary.hpp; not owned,
+  /// nullptr = benign). Interposes on outbound query replies and frames.
+  /// Harness/barrier context only.
+  void set_adversary(faults::Adversary* a) { adversary_ = a; }
+  [[nodiscard]] faults::Adversary* adversary() const { return adversary_; }
+
  private:
   void control_tick();
   void detect_tick();
@@ -86,8 +96,10 @@ class AbstractSwitch : public net::Node {
   /// Forward a transit packet using the rule table (fast-failover order),
   /// falling back to direct hand-over when the destination is adjacent.
   void forward_packet(const net::Packet& packet);
-  /// Route a locally originated frame payload toward `peer`.
+  /// Route a locally originated frame payload toward `peer`. route_frame
+  /// runs adversary interposition (corrupt/babble), emit_frame the routing.
   void route_frame(NodeId peer, proto::PayloadPtr frame, std::uint32_t bytes);
+  void emit_frame(NodeId peer, proto::PayloadPtr frame, std::uint32_t bytes);
 
   Config config_;
   RuleTable rules_;
@@ -98,6 +110,7 @@ class AbstractSwitch : public net::Node {
   detect::ThetaDetector detector_;
   transport::Endpoint endpoint_;
   std::map<NodeId, NodeId> last_port_;  ///< peer -> most recent in-port
+  faults::Adversary* adversary_ = nullptr;
 };
 
 }  // namespace ren::switchd
