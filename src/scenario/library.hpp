@@ -16,7 +16,7 @@ namespace ren::scenario {
 
 /// How many built-in scenarios the library ships (the single place the
 /// count is written down; docs say "the built-ins" and defer to this).
-inline constexpr std::size_t kBuiltinCount = 10;
+inline constexpr std::size_t kBuiltinCount = 11;
 
 /// Names accepted by builtin(), in presentation order. Exactly
 /// kBuiltinCount entries.

@@ -63,6 +63,18 @@ TrialOutcome outcome_from_raw(const Json& rj) {
     out.wd_blast_radius = member(*w, "blast_radius").as_number();
     out.wd_restabilized = member(*w, "restabilized").as_bool();
   }
+  if (const Json* t = rj.find("table"); t != nullptr) {
+    out.has_table = true;
+    out.tbl_arrivals = member(*t, "arrivals").as_number();
+    out.tbl_departures = member(*t, "departures").as_number();
+    out.tbl_peak_active = member(*t, "peak_active").as_number();
+    out.tbl_installs = member(*t, "installs").as_number();
+    out.tbl_overflows = member(*t, "overflows").as_number();
+    out.tbl_evictions = member(*t, "evictions").as_number();
+    out.tbl_peak_rules = member(*t, "peak_rules").as_number();
+    out.tbl_lookups = member(*t, "lookups").as_number();
+    out.tbl_lookup_cost = member(*t, "lookup_cost").as_number();
+  }
   if (const Json* t = rj.find("traffic_mbits"); t != nullptr) {
     out.has_traffic = true;
     out.traffic_mbits = t->as_number();

@@ -9,6 +9,7 @@
 
 #include "faults/adversary.hpp"
 #include "faults/injector.hpp"
+#include "flows/churn.hpp"
 #include "net/link.hpp"
 #include "sim/experiment.hpp"
 #include "switchd/abstract_switch.hpp"
@@ -156,6 +157,11 @@ class TrialExecutor {
     wd_active_ = std::any_of(
         s.events.begin(), s.events.end(),
         [](const Event& e) { return e.kind == EventKind::StartAdversary; });
+    // Table metrics gate the same way: armed only when the scenario drives
+    // the flow-churn workload, so churn-free reports stay byte-identical.
+    table_active_ = std::any_of(
+        s.events.begin(), s.events.end(),
+        [](const Event& e) { return e.kind == EventKind::StartFlowChurn; });
     auto cfg =
         profile_config(s, topology, controllers, axes, seed, opt.paper_timers);
     cfg.with_hosts = s.needs_hosts();
@@ -276,7 +282,117 @@ class TrialExecutor {
       case EventKind::StopAdversary:
         stop_adversary();
         break;
+      case EventKind::StartFlowChurn:
+        start_flow_churn(ev);
+        break;
+      case EventKind::StopFlowChurn:
+        stop_flow_churn();
+        break;
     }
+  }
+
+  // --- Flow-churn lifecycle ------------------------------------------------
+
+  /// Flow-churn generator tick cadence. Arrivals between ticks batch up and
+  /// install at the next tick boundary; ticks are harness-lane events, which
+  /// the epoch-lockstep kernel executes only at barriers — that is what
+  /// keeps the churn timeline bit-identical at any --sim-threads value.
+  static constexpr Time kChurnTick = msec(10);
+  /// Rng::stream_seed stream id of the churn generator's private stream.
+  static constexpr std::uint64_t kChurnStream = 0x466c6f774368ULL;  // "FlowCh"
+
+  void start_flow_churn(const Event& ev) {
+    if (churn_running_) {
+      throw std::logic_error(
+          "start_flow_churn: flow churn is already active");
+    }
+    double rate = ev.rate;
+    if (rate == kRateAxis) {
+      rate = exp_->config().churn_rate;
+      if (!(rate > 0)) {
+        throw std::logic_error(
+            "start_flow_churn with rate \"axis\" needs a \"churn_rate\" axis "
+            "in the campaign");
+      }
+    }
+    flows::ChurnConfig ccfg;
+    ccfg.rate = rate;
+    ccfg.mean_duration = ev.duration;
+    ccfg.alpha = ev.alpha;
+    ccfg.zipf = ev.zipf;
+    ccfg.dist = ev.dist == "poisson" ? flows::ChurnDist::Poisson
+                                     : flows::ChurnDist::Pareto;
+    const auto policy = ev.eviction == "reject_lowest"
+                            ? switchd::EvictionPolicy::RejectLowest
+                            : switchd::EvictionPolicy::PriorityLru;
+    for (auto* sw : exp_->switches()) {
+      sw->rule_table().set_eviction_policy(policy);
+    }
+    churn_ = std::make_unique<flows::ChurnGenerator>(
+        exp_->topology().switch_graph, ccfg,
+        Rng::stream_seed(seed_, kChurnStream), exp_->sim().now());
+    churn_running_ = true;
+    exp_->sim().schedule(kChurnTick, [this] { churn_tick(); });
+  }
+
+  void stop_flow_churn() {
+    if (!churn_running_) {
+      throw std::logic_error("stop_flow_churn: no active flow churn");
+    }
+    churn_running_ = false;  // the pending tick fires once and goes quiet
+    // Flush every active flow: departures ahead of schedule, but removed —
+    // the workload window ends with management rules alone in the tables.
+    while (!active_flows_.empty()) {
+      retire_flow(active_flows_.begin());
+    }
+  }
+
+  /// One harness-lane churn tick: install the arrivals due by now, retire
+  /// the flows whose lifetime ended, re-arm.
+  void churn_tick() {
+    if (!churn_running_) return;
+    const Time now = exp_->sim().now();
+    arrivals_buf_.clear();
+    churn_->advance(now, arrivals_buf_);
+    for (const flows::FlowArrival& a : arrivals_buf_) install_flow(a);
+    while (!active_flows_.empty() &&
+           active_flows_.begin()->first.first <= now) {
+      retire_flow(active_flows_.begin());
+    }
+    exp_->sim().schedule(kChurnTick, [this] { churn_tick(); });
+  }
+
+  /// Install one microflow entry per hop of the flow's shortest path (the
+  /// table may evict or reject under pressure — that is the experiment).
+  void install_flow(const flows::FlowArrival& a) {
+    churn_->path_hops(a.src, a.dst, hops_buf_);
+    if (hops_buf_.empty()) return;  // currently unreachable in the fabric
+    switchd::FlowRule r;
+    r.id = a.id;
+    r.src = a.src;
+    r.dst = a.dst;
+    r.prt = a.prt;
+    const auto& switches = exp_->switches();
+    for (NodeId v : hops_buf_) {
+      r.fwd = churn_->next_hop(v, a.dst);
+      switches[static_cast<std::size_t>(v)]->rule_table().install_flow(r);
+    }
+    active_flows_.emplace(std::pair{a.at + a.duration, a.id}, hops_buf_);
+    tbl_peak_active_ =
+        std::max(tbl_peak_active_, static_cast<double>(active_flows_.size()));
+  }
+
+  void retire_flow(
+      std::map<std::pair<Time, std::uint64_t>,
+               std::vector<NodeId>>::iterator it) {
+    const std::uint64_t id = it->first.second;
+    const auto& switches = exp_->switches();
+    for (NodeId v : it->second) {
+      // false = the entry was already evicted under pressure; fine.
+      switches[static_cast<std::size_t>(v)]->rule_table().remove_flow(id);
+    }
+    ++tbl_departures_;
+    active_flows_.erase(it);
   }
 
   // --- Adversary lifecycle + stabilization watchdog -----------------------
@@ -530,6 +646,23 @@ class TrialExecutor {
       out.wd_blast_radius = wd_blast_;
       out.wd_restabilized = wd_stopped_ && wd_last_legit_;
     }
+    if (table_active_) {
+      out.has_table = true;
+      out.tbl_arrivals =
+          churn_ ? static_cast<double>(churn_->arrivals()) : 0;
+      out.tbl_departures = tbl_departures_;
+      out.tbl_peak_active = tbl_peak_active_;
+      for (auto* sw : exp_->switches()) {
+        const auto& fs = sw->rule_table().flow_stats();
+        out.tbl_installs += static_cast<double>(fs.installs);
+        out.tbl_overflows += static_cast<double>(fs.overflow_rejects);
+        out.tbl_evictions += static_cast<double>(fs.flow_evictions);
+        out.tbl_peak_rules =
+            std::max(out.tbl_peak_rules, static_cast<double>(fs.peak_rules));
+        out.tbl_lookups += static_cast<double>(fs.lookups);
+        out.tbl_lookup_cost += static_cast<double>(fs.lookup_cost);
+      }
+    }
     out.counters_fp = exp_->sim().counters().fingerprint();
   }
 
@@ -563,6 +696,18 @@ class TrialExecutor {
   double wd_blast_ = 0;
   bool wd_blast_armed_ = false;
   std::map<NodeId, std::uint64_t> wd_epoch_snapshot_;
+
+  // --- Flow-churn state (churn scenarios only) ----------------------------
+  bool table_active_ = false;   ///< scenario contains a StartFlowChurn
+  bool churn_running_ = false;  ///< between start_flow_churn and stop
+  std::unique_ptr<flows::ChurnGenerator> churn_;
+  /// (end time, flow id) -> hop switches the flow's entries sit on. Ordered,
+  /// so departures retire in (time, id) order — deterministic.
+  std::map<std::pair<Time, std::uint64_t>, std::vector<NodeId>> active_flows_;
+  std::vector<flows::FlowArrival> arrivals_buf_;
+  std::vector<NodeId> hops_buf_;
+  double tbl_departures_ = 0;
+  double tbl_peak_active_ = 0;
 };
 
 }  // namespace
@@ -604,6 +749,19 @@ Json trial_outcome_json(const TrialOutcome& out) {
     wj.set("blast_radius", out.wd_blast_radius);
     wj.set("restabilized", out.wd_restabilized);
     rj.set("watchdog", std::move(wj));
+  }
+  if (out.has_table) {
+    Json tj;
+    tj.set("arrivals", out.tbl_arrivals);
+    tj.set("departures", out.tbl_departures);
+    tj.set("peak_active", out.tbl_peak_active);
+    tj.set("installs", out.tbl_installs);
+    tj.set("overflows", out.tbl_overflows);
+    tj.set("evictions", out.tbl_evictions);
+    tj.set("peak_rules", out.tbl_peak_rules);
+    tj.set("lookups", out.tbl_lookups);
+    tj.set("lookup_cost", out.tbl_lookup_cost);
+    rj.set("table", std::move(tj));
   }
   if (out.has_traffic) rj.set("traffic_mbits", out.traffic_mbits);
   return rj;
@@ -664,6 +822,18 @@ CampaignResult run_campaign(const Scenario& s, const RunnerOptions& opt) {
     throw std::invalid_argument(
         "run_campaign: an event uses count \"axis\" but the scenario has no "
         "\"victims\" axis");
+  }
+  const bool uses_rate_axis = std::any_of(
+      s.events.begin(), s.events.end(), [](const Event& e) {
+        return e.kind == EventKind::StartFlowChurn && e.rate == kRateAxis;
+      });
+  const bool has_churn_axis =
+      std::any_of(s.axes.begin(), s.axes.end(),
+                  [](const Axis& a) { return a.name == "churn_rate"; });
+  if (uses_rate_axis && !has_churn_axis) {
+    throw std::invalid_argument(
+        "run_campaign: a start_flow_churn event uses rate \"axis\" but the "
+        "scenario has no \"churn_rate\" axis");
   }
   if (opt.shard_count < 1 || opt.shard_index < 0 ||
       opt.shard_index >= opt.shard_count) {
@@ -784,6 +954,8 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
   cr.axes = std::move(axes);
   Sample messages, commands, violations, traffic;
   Sample wd_below, wd_episodes, wd_blast;
+  Sample tb_arrivals, tb_departures, tb_peak_active, tb_installs;
+  Sample tb_overflows, tb_evictions, tb_peak_rules, tb_lookups, tb_cost;
   // label -> aggregation slot, in first-seen (timeline) order
   std::vector<std::string> labels;
   std::vector<Sample> cp_seconds, cp_rate;
@@ -815,6 +987,18 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
       wd_episodes.add(out.wd_episodes);
       wd_blast.add(out.wd_blast_radius);
       cr.wd_restabilized += out.wd_restabilized ? 1 : 0;
+    }
+    if (out.has_table) {
+      cr.has_table = true;
+      tb_arrivals.add(out.tbl_arrivals);
+      tb_departures.add(out.tbl_departures);
+      tb_peak_active.add(out.tbl_peak_active);
+      tb_installs.add(out.tbl_installs);
+      tb_overflows.add(out.tbl_overflows);
+      tb_evictions.add(out.tbl_evictions);
+      tb_peak_rules.add(out.tbl_peak_rules);
+      tb_lookups.add(out.tbl_lookups);
+      tb_cost.add(out.tbl_lookup_cost);
     }
     for (std::size_t k = 0; k < out.checkpoints.size(); ++k) {
       const auto& c = out.checkpoints[k];
@@ -879,6 +1063,15 @@ CellResult aggregate_cell(const std::string& topology, int controllers,
   cr.wd_below_s = wd_below.percentiles();
   cr.wd_episodes = wd_episodes.percentiles();
   cr.wd_blast_radius = wd_blast.percentiles();
+  cr.tbl_arrivals = tb_arrivals.percentiles();
+  cr.tbl_departures = tb_departures.percentiles();
+  cr.tbl_peak_active = tb_peak_active.percentiles();
+  cr.tbl_installs = tb_installs.percentiles();
+  cr.tbl_overflows = tb_overflows.percentiles();
+  cr.tbl_evictions = tb_evictions.percentiles();
+  cr.tbl_peak_rules = tb_peak_rules.percentiles();
+  cr.tbl_lookups = tb_lookups.percentiles();
+  cr.tbl_lookup_cost = tb_cost.percentiles();
   return cr;
 }
 
@@ -945,6 +1138,19 @@ Json CampaignResult::to_json() const {
       wj.set("blast_radius", summary_json(c.wd_blast_radius));
       wj.set("restabilized", c.wd_restabilized);
       cj.set("watchdog", std::move(wj));
+    }
+    if (c.has_table) {
+      Json tj;
+      tj.set("arrivals", summary_json(c.tbl_arrivals));
+      tj.set("departures", summary_json(c.tbl_departures));
+      tj.set("peak_active", summary_json(c.tbl_peak_active));
+      tj.set("installs", summary_json(c.tbl_installs));
+      tj.set("overflows", summary_json(c.tbl_overflows));
+      tj.set("evictions", summary_json(c.tbl_evictions));
+      tj.set("peak_rules", summary_json(c.tbl_peak_rules));
+      tj.set("lookups", summary_json(c.tbl_lookups));
+      tj.set("lookup_cost", summary_json(c.tbl_lookup_cost));
+      cj.set("table", std::move(tj));
     }
     if (c.has_traffic) cj.set("traffic_mbits", summary_json(c.traffic_mbits));
     if (!c.raw.empty()) {

@@ -107,6 +107,20 @@ struct TrialOutcome {
                                ///< manager state diverged while adversarial
   bool wd_restabilized = false;  ///< legitimate again after the last
                                  ///< stop_adversary
+  /// Rule-table / flow-churn record (flows/churn.hpp workload over the
+  /// capacity-limited switchd::RuleTable). Present — and emitted in the
+  /// JSON — only for trials whose scenario contains a StartFlowChurn event,
+  /// so churn-free campaigns stay byte-identical to pre-churn reports.
+  bool has_table = false;
+  double tbl_arrivals = 0;     ///< cumulative generator flow arrivals
+  double tbl_departures = 0;   ///< flows removed (natural end or flush)
+  double tbl_peak_active = 0;  ///< peak concurrently active flows
+  double tbl_installs = 0;     ///< flow-entry installs, summed over switches
+  double tbl_overflows = 0;    ///< overflow rejections, summed over switches
+  double tbl_evictions = 0;    ///< pressure evictions, summed over switches
+  double tbl_peak_rules = 0;   ///< max per-switch peak table occupancy
+  double tbl_lookups = 0;      ///< forwarding-path lookups, summed
+  double tbl_lookup_cost = 0;  ///< modeled lookup cost, summed
   /// Order-independent digest of the trial's final simulator Counters. Not
   /// part of the JSON rendering (shard-merged reports stay byte-identical);
   /// used by --paranoid-sim and the determinism tests.
@@ -155,6 +169,17 @@ struct CellResult {
   PercentileSummary wd_episodes;
   PercentileSummary wd_blast_radius;
   int wd_restabilized = 0;  ///< trials that re-stabilized after stop
+  /// Rule-table / flow-churn aggregates (churn scenarios only).
+  bool has_table = false;
+  PercentileSummary tbl_arrivals;
+  PercentileSummary tbl_departures;
+  PercentileSummary tbl_peak_active;
+  PercentileSummary tbl_installs;
+  PercentileSummary tbl_overflows;
+  PercentileSummary tbl_evictions;
+  PercentileSummary tbl_peak_rules;
+  PercentileSummary tbl_lookups;
+  PercentileSummary tbl_lookup_cost;
   /// Raw per-trial samples, populated when RunnerOptions::include_raw:
   /// (trial index, outcome) for every trial this process executed.
   std::vector<std::pair<int, TrialOutcome>> raw;

@@ -25,12 +25,14 @@ const char* to_string(EventKind k) {
     case EventKind::ExpectConverged: return "expect_converged";
     case EventKind::StartAdversary: return "start_adversary";
     case EventKind::StopAdversary: return "stop_adversary";
+    case EventKind::StartFlowChurn: return "start_flow_churn";
+    case EventKind::StopFlowChurn: return "stop_flow_churn";
   }
   return "?";
 }
 
 EventKind event_kind_from_string(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::StopAdversary); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::StopFlowChurn); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -74,6 +76,34 @@ void check_adversary_event(const Event& e, const std::string& where) {
       throw std::invalid_argument(
           where + ": channel fault probabilities must be in [0, 1)");
     }
+  }
+}
+
+/// Shared StartFlowChurn validation (builder API and spec parser); the
+/// domains mirror flows::ChurnConfig's constructor checks so a bad spec
+/// fails at parse/build time instead of mid-trial.
+void check_churn_event(const Event& e, const std::string& where) {
+  if (!(e.rate > 0) && e.rate != kRateAxis) {
+    throw std::invalid_argument(where +
+                                ": rate must be > 0 or \"axis\"");
+  }
+  if (e.duration <= 0) {
+    throw std::invalid_argument(where + ": mean_duration must be > 0");
+  }
+  if (!(e.alpha > 1.0)) {
+    throw std::invalid_argument(where + ": alpha must be > 1");
+  }
+  if (e.zipf < 0) {
+    throw std::invalid_argument(where + ": zipf must be >= 0");
+  }
+  if (e.dist != "pareto" && e.dist != "poisson") {
+    throw std::invalid_argument(where + ": dist must be \"pareto\" or "
+                                        "\"poisson\", got \"" + e.dist + "\"");
+  }
+  if (e.eviction != "priority_lru" && e.eviction != "reject_lowest") {
+    throw std::invalid_argument(where + ": eviction must be \"priority_lru\" "
+                                        "or \"reject_lowest\", got \"" +
+                                e.eviction + "\"");
   }
 }
 
@@ -184,6 +214,26 @@ Scenario& Scenario::channel_faults(Time at, double loss, double corrupt,
 
 Scenario& Scenario::stop_adversary(Time at) {
   events.push_back(make_event(at, EventKind::StopAdversary));
+  return *this;
+}
+
+Scenario& Scenario::start_flow_churn(Time at, double rate, Time mean_duration,
+                                     double alpha, double zipf,
+                                     std::string dist, std::string eviction) {
+  Event e = make_event(at, EventKind::StartFlowChurn);
+  e.rate = rate;
+  e.duration = mean_duration;
+  e.alpha = alpha;
+  e.zipf = zipf;
+  e.dist = std::move(dist);
+  e.eviction = std::move(eviction);
+  check_churn_event(e, "Scenario::start_flow_churn");
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::stop_flow_churn(Time at) {
+  events.push_back(make_event(at, EventKind::StopFlowChurn));
   return *this;
 }
 
@@ -338,6 +388,18 @@ Json to_spec_json(const Scenario& s) {
           if (e.target != "controller") ev.set("target", e.target);
         }
         break;
+      case EventKind::StartFlowChurn:
+        if (e.rate == kRateAxis) {
+          ev.set("rate", "axis");
+        } else {
+          ev.set("rate", e.rate);
+        }
+        ev.set("mean_duration_ms", e.duration / 1000);
+        if (e.alpha != 1.5) ev.set("alpha", e.alpha);
+        if (e.zipf != 1.0) ev.set("zipf", e.zipf);
+        if (e.dist != "pareto") ev.set("dist", e.dist);
+        if (e.eviction != "priority_lru") ev.set("eviction", e.eviction);
+        break;
       default:
         break;
     }
@@ -487,7 +549,8 @@ Scenario parse_spec_json(const Json& doc) {
                           {"at_ms", "kind", "count", "keep_connected", "label",
                            "limit_ms", "detection_ms", "every_ms", "repeat",
                            "mode", "intensity", "target", "loss", "duplicate",
-                           "reorder", "corrupt"},
+                           "reorder", "corrupt", "rate", "mean_duration_ms",
+                           "alpha", "zipf", "dist", "eviction"},
                           where);
       Event e;
       e.at = msec(static_cast<std::int64_t>(ej.number_or("at_ms", 0)));
@@ -532,6 +595,30 @@ Scenario parse_spec_json(const Json& doc) {
           throw std::invalid_argument("spec: " + where + ": " + ex.what());
         }
       }
+      if (const Json* rj = ej.find("rate")) {
+        if (rj->kind() == Json::Kind::String) {
+          if (rj->as_string() != "axis") {
+            throw std::runtime_error(
+                "spec: \"rate\" must be a number or the string \"axis\"");
+          }
+          e.rate = kRateAxis;
+        } else {
+          e.rate = rj->as_number();
+        }
+      }
+      e.duration = msec(
+          static_cast<std::int64_t>(ej.number_or("mean_duration_ms", 200)));
+      e.alpha = ej.number_or("alpha", 1.5);
+      e.zipf = ej.number_or("zipf", 1.0);
+      e.dist = ej.string_or("dist", "pareto");
+      e.eviction = ej.string_or("eviction", "priority_lru");
+      if (e.kind == EventKind::StartFlowChurn) {
+        try {
+          check_churn_event(e, "start_flow_churn");
+        } catch (const std::invalid_argument& ex) {
+          throw std::invalid_argument("spec: " + where + ": " + ex.what());
+        }
+      }
       e.every = msec(static_cast<std::int64_t>(ej.number_or("every_ms", 0)));
       e.repeat = static_cast<int>(ej.number_or("repeat", 1));
       // Periodicity needs both halves: "every_ms" without "repeat" would
@@ -552,6 +639,25 @@ Scenario parse_spec_json(const Json& doc) {
   if (s.controllers.empty())
     throw std::runtime_error("spec: controllers must not be empty");
   if (s.trials <= 0) throw std::runtime_error("spec: trials must be positive");
+  // Churn events must nest: a stop without an active workload (or a second
+  // start over a running one) is a spec bug, caught here over the expanded
+  // timeline so periodic events are covered too.
+  bool churn_active = false;
+  for (const Event& e : s.expanded_events()) {
+    if (e.kind == EventKind::StartFlowChurn) {
+      if (churn_active) {
+        throw std::runtime_error(
+            "spec: start_flow_churn while flow churn is already active");
+      }
+      churn_active = true;
+    } else if (e.kind == EventKind::StopFlowChurn) {
+      if (!churn_active) {
+        throw std::runtime_error(
+            "spec: stop_flow_churn before any start_flow_churn");
+      }
+      churn_active = false;
+    }
+  }
   return s;
 }
 

@@ -32,6 +32,8 @@ enum class EventKind {
   ExpectConverged,  ///< checkpoint: wait for legitimacy, record the time
   StartAdversary,   ///< attach Byzantine adversaries / start a channel storm
   StopAdversary,    ///< detach every adversary, restore link fault baselines
+  StartFlowChurn,   ///< start the heavy-tailed data-plane flow workload
+  StopFlowChurn,    ///< stop the workload and flush active flow entries
 };
 
 [[nodiscard]] const char* to_string(EventKind k);
@@ -43,6 +45,11 @@ enum class EventKind {
 /// multi-failure sweeps (Figs. 11/14) run as one campaign. Spec form:
 /// "count": "axis".
 inline constexpr int kCountAxis = -1;
+
+/// Sentinel for Event::rate: the flow-churn arrival rate comes from the
+/// campaign's "churn_rate" axis (sim::ExperimentConfig::churn_rate) instead
+/// of the event. Spec form: "rate": "axis".
+inline constexpr double kRateAxis = -1.0;
 
 struct Event {
   Time at = 0;
@@ -76,6 +83,17 @@ struct Event {
   double duplicate = 0.0;
   double reorder = 0.0;
   double corrupt = 0.0;
+  /// StartFlowChurn: mean flow arrival rate in flows/s, or kRateAxis to take
+  /// the value from the campaign's "churn_rate" axis per grid cell.
+  double rate = 1000.0;
+  Time duration = msec(200);  ///< StartFlowChurn: mean flow lifetime
+  double alpha = 1.5;  ///< StartFlowChurn: Pareto shape (heavy tail)
+  double zipf = 1.0;   ///< StartFlowChurn: endpoint popularity skew
+  /// StartFlowChurn: interarrival distribution ("pareto" | "poisson").
+  std::string dist = "pareto";
+  /// StartFlowChurn: table eviction policy applied to every switch
+  /// ("priority_lru" | "reject_lowest"; switchd::EvictionPolicy).
+  std::string eviction = "priority_lru";
 
   bool operator==(const Event&) const = default;
 };
@@ -160,6 +178,19 @@ struct Scenario {
   /// Detach every adversary and restore the per-link fault baselines; the
   /// watchdog records whether the system re-stabilizes afterwards.
   Scenario& stop_adversary(Time at);
+  /// Start the heavy-tailed data-plane flow workload (flows/churn.hpp):
+  /// `rate` flows/s (or kRateAxis to sweep the "churn_rate" axis) with mean
+  /// lifetime `mean_duration`, Pareto shape `alpha`, Zipf endpoint skew
+  /// `zipf`, interarrival distribution `dist` ("pareto" | "poisson") and
+  /// table eviction policy `eviction` ("priority_lru" | "reject_lowest").
+  /// Activates the per-switch table metrics ("table") for the trial.
+  Scenario& start_flow_churn(Time at, double rate,
+                             Time mean_duration = msec(200),
+                             double alpha = 1.5, double zipf = 1.0,
+                             std::string dist = "pareto",
+                             std::string eviction = "priority_lru");
+  /// Stop the flow workload and flush every active flow entry.
+  Scenario& stop_flow_churn(Time at);
   /// Add a generic sweep axis (or replace the values of an existing one).
   /// Throws std::invalid_argument on unknown names, out-of-domain values,
   /// or an empty value list — axis typos fail at build time, not mid-run.

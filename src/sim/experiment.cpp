@@ -26,7 +26,9 @@ long long integral_axis(const std::string& name, double value, long long min) {
 
 const std::vector<std::string>& axis_names() {
   static const std::vector<std::string> names = {
-      "kappa", "theta", "task_delay_ms", "link_loss", "victims"};
+      "kappa",     "theta",      "task_delay_ms",
+      "link_loss", "victims",    "churn_rate",
+      "table_capacity"};
   return names;
 }
 
@@ -50,6 +52,14 @@ void apply_axis(ExperimentConfig& cfg, const std::string& name, double value) {
     cfg.link_loss = value;
   } else if (name == "victims") {
     cfg.victims = static_cast<int>(integral_axis(name, value, 1));
+  } else if (name == "churn_rate") {
+    if (!(value > 0)) {
+      throw std::invalid_argument("axis \"churn_rate\": value must be > 0");
+    }
+    cfg.churn_rate = value;
+  } else if (name == "table_capacity") {
+    cfg.max_rules =
+        static_cast<std::size_t>(integral_axis(name, value, 1));
   } else {
     std::string known;
     for (const auto& n : axis_names()) known += " " + n;

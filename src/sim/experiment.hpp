@@ -33,6 +33,10 @@ struct ExperimentConfig {
   /// (how many controllers/switches/links one injection hits). 0 = unset;
   /// such events throw when no victims axis point is in effect.
   int victims = 0;
+  /// Flow-churn arrival rate (flows/s) consumed by start_flow_churn events
+  /// that declare "rate": "axis". 0 = unset; such events throw when no
+  /// churn_rate axis point is in effect.
+  double churn_rate = 0;
   Time task_delay = msec(500);        ///< paper Section 6.3 default
   Time detect_interval = msec(100);
   int theta = 10;                     ///< 10 small nets, 30 large (paper)
@@ -97,6 +101,9 @@ struct ExperimentConfig {
 //   link_loss      per-packet loss probability on every link, in [0, 1)
 //   victims        per-injection victim count for events with "count": "axis"
 //                  (integer >= 1)
+//   churn_rate     flow-churn arrival rate in flows/s for start_flow_churn
+//                  events with "rate": "axis" (> 0)
+//   table_capacity per-switch rule-table capacity (max_rules; integer >= 1)
 
 /// Names accepted by apply_axis, in presentation order.
 [[nodiscard]] const std::vector<std::string>& axis_names();

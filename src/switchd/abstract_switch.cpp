@@ -82,7 +82,7 @@ void AbstractSwitch::forward_packet(const net::Packet& packet) {
   }
   net::Packet out = packet;
   out.ttl -= 1;
-  for (const Candidate& c : rules_.candidates(packet.src, packet.dst)) {
+  for (const Candidate& c : rules_.lookup(packet.src, packet.dst)) {
     if (sim_->network().link_operational(id(), c.fwd)) {
       sim_->send(id(), c.fwd, out);
       return;
@@ -126,7 +126,7 @@ void AbstractSwitch::emit_frame(NodeId peer, proto::PayloadPtr frame,
     return;
   }
   // 2. Installed reverse rules (src=*, dest=peer).
-  for (const Candidate& c : rules_.candidates(id(), peer)) {
+  for (const Candidate& c : rules_.lookup(id(), peer)) {
     if (sim_->network().link_operational(id(), c.fwd)) {
       sim_->send(id(), c.fwd, pkt);
       return;

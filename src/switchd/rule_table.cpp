@@ -70,6 +70,126 @@ void RuleTable::clear() {
   note_mutation();
 }
 
+// --- Flow store --------------------------------------------------------------
+
+void RuleTable::note_peak() {
+  const std::uint64_t occ = occupancy();
+  if (occ > flow_stats_.peak_rules) flow_stats_.peak_rules = occ;
+}
+
+void RuleTable::erase_flow(std::uint64_t id,
+                           std::uint64_t FlowStats::*counter) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  const FlowRule& r = it->second.rule;
+  flow_order_.erase({{r.prt, it->second.stamp}, id});
+  auto mi = flow_match_.find({r.dst, r.src});
+  if (mi != flow_match_.end()) {
+    std::erase(mi->second, id);
+    if (mi->second.empty()) flow_match_.erase(mi);
+  }
+  lookup_cache_.erase(lookup_key(r.src, r.dst));
+  flows_.erase(it);
+  flow_stats_.*counter += 1;
+}
+
+std::uint64_t RuleTable::pick_victim(Priority incoming) const {
+  if (flow_order_.empty()) return 0;
+  if (policy_ == EvictionPolicy::RejectLowest) {
+    // The incoming entry must strictly beat the lowest stored priority to
+    // displace anything; the victim is that class's oldest entry.
+    const auto& lowest = *flow_order_.begin();
+    return lowest.first.first < incoming ? lowest.second : 0;
+  }
+  // PriorityLru: the least recently used entry over every priority class at
+  // or below the incoming priority. The order index is (priority, stamp), so
+  // each class's head is its oldest entry; classes are few (flow priorities
+  // span the compiler's n_prt range), so hopping class heads is O(classes).
+  std::uint64_t victim = 0;
+  std::uint64_t best_stamp = 0;
+  auto it = flow_order_.begin();
+  while (it != flow_order_.end() && it->first.first <= incoming) {
+    if (victim == 0 || it->first.second < best_stamp) {
+      victim = it->second;
+      best_stamp = it->first.second;
+    }
+    // Jump past this priority class to the next class head.
+    it = flow_order_.lower_bound(
+        {{it->first.first + 1, 0}, 0});
+  }
+  return victim;
+}
+
+bool RuleTable::install_flow(const FlowRule& r) {
+  if (r.id == 0) return false;  // 0 is the "no victim" sentinel
+  if (auto it = flows_.find(r.id); it != flows_.end()) {
+    // Reinstall refreshes the LRU stamp; the match never changes (flow ids
+    // are bound to one header for their lifetime).
+    flow_order_.erase({{it->second.rule.prt, it->second.stamp}, r.id});
+    it->second.rule = r;
+    it->second.stamp = ++flow_stamp_;
+    flow_order_.insert({{r.prt, it->second.stamp}, r.id});
+    return true;
+  }
+  if (occupancy() >= config_.max_rules) {
+    // Protected management rules alone may exceed the capacity; flows only
+    // ever displace other flows.
+    const std::uint64_t victim = pick_victim(r.prt);
+    if (victim == 0) {
+      ++flow_stats_.overflow_rejects;
+      return false;
+    }
+    erase_flow(victim, &FlowStats::flow_evictions);
+  }
+  FlowEntry e;
+  e.rule = r;
+  e.stamp = ++flow_stamp_;
+  flows_.emplace(r.id, e);
+  flow_order_.insert({{r.prt, e.stamp}, r.id});
+  flow_match_[{r.dst, r.src}].push_back(r.id);
+  lookup_cache_.erase(lookup_key(r.src, r.dst));
+  ++flow_stats_.installs;
+  note_peak();
+  return true;
+}
+
+bool RuleTable::remove_flow(std::uint64_t id) {
+  if (flows_.find(id) == flows_.end()) return false;
+  erase_flow(id, &FlowStats::removals);
+  return true;
+}
+
+void RuleTable::clear_flows() {
+  while (!flows_.empty()) {
+    erase_flow(flows_.begin()->first, &FlowStats::removals);
+  }
+}
+
+const std::vector<Candidate>& RuleTable::lookup(NodeId src, NodeId dst) {
+  // Lookup-cost model (docs/ARCHITECTURE.md): one probe of the priority-
+  // sorted table — ~log2 of the occupancy, the sorted-array idiom — plus a
+  // unit per candidate the fast-failover scan may examine. Charged per
+  // forwarding-path lookup regardless of the cache (the cache is an
+  // implementation artifact, not part of the modeled hardware).
+  ++flow_stats_.lookups;
+  std::uint64_t probe = 1;
+  for (std::size_t occ = occupancy(); occ > 1; occ >>= 1) ++probe;
+  const std::vector<Candidate>& cands = candidates(src, dst);
+  flow_stats_.lookup_cost += probe + cands.size();
+  // Matched flow entries are "used": refresh their LRU stamps so popular
+  // flows survive priority-masked LRU pressure.
+  if (auto mi = flow_match_.find({dst, src}); mi != flow_match_.end()) {
+    for (std::uint64_t id : mi->second) {
+      auto it = flows_.find(id);
+      if (it == flows_.end()) continue;
+      flow_order_.erase({{it->second.rule.prt, it->second.stamp}, id});
+      it->second.stamp = ++flow_stamp_;
+      flow_order_.insert({{it->second.rule.prt, it->second.stamp}, id});
+    }
+  }
+  return cands;
+}
+
 void RuleTable::trim_to_retention(OwnerEntry& e) {
   while (e.recent_tags.size() > static_cast<std::size_t>(e.retention)) {
     e.recent_tags.pop_back();
@@ -114,6 +234,13 @@ void RuleTable::note_mutation() {
 }
 
 void RuleTable::enforce_capacity() {
+  // Management rules are protected: when a controller install overflows the
+  // table, flow entries go first (lowest priority class, oldest entry) so
+  // the self-stabilization state survives data-plane pressure.
+  const std::size_t owner_rules = total_rules();
+  while (owner_rules + flows_.size() > config_.max_rules && !flows_.empty()) {
+    erase_flow(flow_order_.begin()->second, &FlowStats::flow_evictions);
+  }
   // Clogged memory: evict whole least-recently-updated owner entries until
   // the total rule count fits (Section 2.1.1 eviction policy, at the
   // granularity of our per-owner immutable lists).
@@ -228,6 +355,14 @@ const std::vector<Candidate>& RuleTable::candidates(NodeId src, NodeId dst) {
       }
     }
   }
+  // Flow-store entries are exact matches on both header fields (specificity
+  // 2, current tag rank, no owning controller).
+  if (auto mi = flow_match_.find({dst, src}); mi != flow_match_.end()) {
+    for (std::uint64_t id : mi->second) {
+      const FlowRule& r = flows_.at(id).rule;
+      cands.push_back(Candidate{r.fwd, r.prt, 2, 0, kNoNode});
+    }
+  }
   // Round freshness first: rules of an owner's *current* round always beat
   // its older retained rounds — retained lists exist purely as failover
   // while a reconfiguration rolls out (Section 6.2), and must never
@@ -291,6 +426,17 @@ void RuleTable::corrupt(Rng& rng, NodeId node_space) {
       }
     }
     ++it;
+  }
+  // Scramble flow-store out-ports too — but only when flows exist, so the
+  // RNG draw sequence (and thus every downstream random choice) in flow-free
+  // trials is identical to a build without the flow store.
+  if (!flows_.empty()) {
+    for (auto& [id, e] : flows_) {
+      if (rng.chance(0.1)) {
+        e.rule.fwd = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint64_t>(node_space)));
+      }
+    }
   }
   note_mutation();
 }

@@ -13,12 +13,27 @@
 // specificity first, then higher priority, then fresher round tag. The
 // forwarding engine applies the first candidate whose out-port is
 // operational — OpenFlow fast-failover semantics.
+//
+// Alongside the per-owner Renaissance management rules the table holds a
+// capacity-limited *flow store*: exact-match microflow entries installed by
+// the data-plane workload generator (flows/churn.hpp), kept priority-sorted
+// and evicted under table pressure by a configurable policy —
+// priority-masked LRU (evict the least recently used entry among priority
+// classes at or below the incoming priority) or reject-lowest (refuse the
+// incoming entry when it is the lowest priority in the table). Management
+// rules are *protected*: a flow entry can never displace them, so the
+// self-stabilization invariants survive arbitrary table pressure; a
+// management install under pressure instead evicts flow entries. Flow
+// mutations deliberately leave the monitor epoch untouched — churn is not
+// monitor-observable state — and invalidate only the affected lookup-cache
+// key.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -38,10 +53,40 @@ struct Candidate {
   NodeId cid = kNoNode;
 };
 
+/// How the flow store resolves table pressure (docs/scenarios.md):
+///   PriorityLru   evict the least recently used flow entry among priority
+///                 classes <= the incoming priority (priority-masked LRU);
+///                 reject the newcomer only when no such entry exists.
+///   RejectLowest  refuse the incoming entry when it would be the lowest
+///                 priority in the table; otherwise evict the oldest entry
+///                 of the lowest priority class.
+enum class EvictionPolicy { PriorityLru, RejectLowest };
+
+/// One exact-match microflow entry (churn workload).
+struct FlowRule {
+  std::uint64_t id = 0;  ///< generator-unique flow id
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Priority prt = 0;
+  NodeId fwd = kNoNode;
+};
+
 class RuleTable {
  public:
   struct Config {
     std::size_t max_rules = 1u << 20;  ///< clogged-memory bound
+  };
+
+  /// Flow-store accounting (campaign "table" metrics; all monotonic except
+  /// peak_rules, which tracks the peak combined occupancy).
+  struct FlowStats {
+    std::uint64_t installs = 0;
+    std::uint64_t removals = 0;          ///< explicit departures that hit
+    std::uint64_t overflow_rejects = 0;  ///< incoming entries refused
+    std::uint64_t flow_evictions = 0;    ///< entries displaced by pressure
+    std::uint64_t peak_rules = 0;        ///< peak occupancy (rules + flows)
+    std::uint64_t lookups = 0;           ///< forwarding-path lookups
+    std::uint64_t lookup_cost = 0;       ///< modeled cost of those lookups
   };
 
   explicit RuleTable(Config config) : config_(config) {}
@@ -51,6 +96,30 @@ class RuleTable {
   void update_rules(NodeId cid, proto::RuleListPtr rules, proto::Tag tag);
   void del_all(NodeId cid);
   void clear();
+
+  // --- Flow store (data-plane workload; flows/churn.hpp) ------------------
+  /// Install a microflow entry under the capacity limit. Returns false when
+  /// the eviction policy rejects it (counted in overflow_rejects). Protected
+  /// management rules are never displaced.
+  bool install_flow(const FlowRule& r);
+  /// Remove a flow entry by id (false when already evicted/absent).
+  bool remove_flow(std::uint64_t id);
+  /// Drop every flow entry (stop_flow_churn flushes active flows).
+  void clear_flows();
+  void set_eviction_policy(EvictionPolicy p) { policy_ = p; }
+  [[nodiscard]] EvictionPolicy eviction_policy() const { return policy_; }
+  [[nodiscard]] std::size_t flow_rules() const { return flows_.size(); }
+  /// Combined occupancy counted against max_rules.
+  [[nodiscard]] std::size_t occupancy() const {
+    return total_rules() + flows_.size();
+  }
+  [[nodiscard]] const FlowStats& flow_stats() const { return flow_stats_; }
+
+  /// Forwarding-path lookup: candidates() plus the lookup-cost model (one
+  /// binary-search probe of the priority-sorted table, ~log2(occupancy),
+  /// plus one unit per candidate examined). Only the switch's packet path
+  /// calls this — monitor walks use candidates() and stay cost-free.
+  [[nodiscard]] const std::vector<Candidate>& lookup(NodeId src, NodeId dst);
 
   // --- Queries ----------------------------------------------------------
   /// The owner's current round tag (the paper's meta-rule tag), if any.
@@ -91,6 +160,12 @@ class RuleTable {
     std::uint64_t touch = 0;  ///< LRU stamp
   };
 
+  /// A stored flow entry: the rule plus its LRU stamp.
+  struct FlowEntry {
+    FlowRule rule;
+    std::uint64_t stamp = 0;
+  };
+
   void trim_to_retention(OwnerEntry& e);
   void enforce_capacity();
   /// Drop the lookup cache and advance the epoch iff the monitor-observable
@@ -98,6 +173,13 @@ class RuleTable {
   /// the end of every mutating entry point.
   void note_mutation();
   [[nodiscard]] std::uint64_t content_signature() const;
+  /// Erase one flow entry (must exist) and maintain the indexes; counted
+  /// against `counter` (evictions vs removals).
+  void erase_flow(std::uint64_t id, std::uint64_t FlowStats::*counter);
+  /// Pick the eviction victim for an incoming priority under the active
+  /// policy, or 0 when the newcomer must be rejected (flow ids are >= 1).
+  [[nodiscard]] std::uint64_t pick_victim(Priority incoming) const;
+  void note_peak();
 
   Config config_;
   std::map<NodeId, OwnerEntry> owners_;
@@ -106,6 +188,19 @@ class RuleTable {
   std::uint64_t epoch_ = 0;
   std::uint64_t content_sig_ = 0;
   std::unordered_map<std::uint64_t, std::vector<Candidate>> lookup_cache_;
+
+  // --- Flow store ---------------------------------------------------------
+  EvictionPolicy policy_ = EvictionPolicy::PriorityLru;
+  std::map<std::uint64_t, FlowEntry> flows_;  ///< flow id -> entry
+  /// (priority, LRU stamp) -> flow id: ascending order puts the lowest
+  /// priority class first and the oldest entry first within a class, which
+  /// is exactly the deterministic scan order both eviction policies need.
+  std::set<std::pair<std::pair<Priority, std::uint64_t>, std::uint64_t>>
+      flow_order_;
+  /// (dst, src) -> flow ids matching that exact header, for candidates().
+  std::map<std::pair<NodeId, NodeId>, std::vector<std::uint64_t>> flow_match_;
+  std::uint64_t flow_stamp_ = 0;
+  FlowStats flow_stats_;
 };
 
 }  // namespace ren::switchd

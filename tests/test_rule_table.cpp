@@ -178,6 +178,266 @@ TEST(RuleTable, OwnersSummaryIncludesMetaOnlyOwners) {
   EXPECT_EQ(owners[0].tag.epoch, 3u);
 }
 
+// --- Flow store (capacity-limited, property-based) ---------------------------
+
+/// Naive reference model of the flow store: a flat map plus linear scans,
+/// mirroring the documented semantics (priority-masked LRU / reject-lowest,
+/// stamp refresh on reinstall and on lookup) with none of the index
+/// structures. The differential tests drive RuleTable and this model with
+/// the same operation stream and require identical observable state.
+struct FlowRef {
+  struct Entry {
+    FlowRule rule;
+    std::uint64_t stamp = 0;
+    std::uint64_t seq = 0;  ///< match-list append order (install time)
+  };
+  std::size_t max_rules = 0;
+  std::size_t mgmt = 0;  ///< protected management rules sharing the table
+  EvictionPolicy policy = EvictionPolicy::PriorityLru;
+  std::map<std::uint64_t, Entry> flows;
+  std::uint64_t stamp = 0, seq = 0;
+  std::uint64_t installs = 0, removals = 0, rejects = 0, evictions = 0;
+  std::uint64_t peak = 0, lookups = 0, lookup_cost = 0;
+
+  std::size_t occupancy() const { return mgmt + flows.size(); }
+
+  void note_peak() { peak = std::max<std::uint64_t>(peak, occupancy()); }
+
+  std::uint64_t pick_victim(Priority incoming) const {
+    std::uint64_t victim = 0, best_stamp = 0;
+    if (policy == EvictionPolicy::RejectLowest) {
+      Priority best_prt = 0;
+      for (const auto& [id, e] : flows) {
+        if (victim == 0 || e.rule.prt < best_prt ||
+            (e.rule.prt == best_prt && e.stamp < best_stamp)) {
+          victim = id;
+          best_prt = e.rule.prt;
+          best_stamp = e.stamp;
+        }
+      }
+      return victim != 0 && best_prt < incoming ? victim : 0;
+    }
+    for (const auto& [id, e] : flows) {
+      if (e.rule.prt > incoming) continue;
+      if (victim == 0 || e.stamp < best_stamp) {
+        victim = id;
+        best_stamp = e.stamp;
+      }
+    }
+    return victim;
+  }
+
+  bool install(const FlowRule& r) {
+    if (r.id == 0) return false;
+    if (auto it = flows.find(r.id); it != flows.end()) {
+      it->second.rule = r;
+      it->second.stamp = ++stamp;
+      return true;
+    }
+    if (occupancy() >= max_rules) {
+      const std::uint64_t victim = pick_victim(r.prt);
+      if (victim == 0) {
+        ++rejects;
+        return false;
+      }
+      flows.erase(victim);
+      ++evictions;
+    }
+    Entry e;
+    e.rule = r;
+    e.stamp = ++stamp;
+    e.seq = ++seq;
+    flows.emplace(r.id, e);
+    ++installs;
+    note_peak();
+    return true;
+  }
+
+  bool remove(std::uint64_t id) {
+    if (flows.erase(id) == 0) return false;
+    ++removals;
+    return true;
+  }
+
+  /// Header lookup: cost accounting plus the LRU refresh of matching
+  /// entries, in match-list (install) order like the real table.
+  void lookup(NodeId src, NodeId dst) {
+    ++lookups;
+    std::uint64_t probe = 1;
+    for (std::size_t occ = occupancy(); occ > 1; occ >>= 1) ++probe;
+    std::vector<Entry*> matches;
+    for (auto& [id, e] : flows) {
+      if (e.rule.src == src && e.rule.dst == dst) matches.push_back(&e);
+    }
+    lookup_cost += probe + matches.size();
+    std::sort(matches.begin(), matches.end(),
+              [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+    for (Entry* e : matches) e->stamp = ++stamp;
+  }
+};
+
+/// The flow header a given id is bound to for its whole lifetime (flow ids
+/// never change headers, matching the generator's contract). Headers live
+/// in [1000, 1000+kSpace) so they can never collide with management rules.
+FlowRule flow_of(std::uint64_t id, NodeId fwd) {
+  constexpr NodeId kSpace = 6;
+  FlowRule r;
+  r.id = id;
+  r.src = 1000 + static_cast<NodeId>(id % kSpace);
+  r.dst = 1000 + static_cast<NodeId>((id / kSpace) % kSpace);
+  r.prt = static_cast<Priority>(id % 4);
+  r.fwd = fwd;
+  return r;
+}
+
+TEST(RuleTableFlows, DifferentialRandomChurnAgainstNaiveModel) {
+  for (const auto policy :
+       {EvictionPolicy::PriorityLru, EvictionPolicy::RejectLowest}) {
+    for (const std::size_t mgmt : {std::size_t{0}, std::size_t{2}}) {
+      RuleTable t({/*max_rules=*/16});
+      t.set_eviction_policy(policy);
+      FlowRef ref;
+      ref.max_rules = 16;
+      ref.policy = policy;
+      if (mgmt > 0) {
+        // Two protected management rules share the table; their headers
+        // (node ids < 1000) never match a flow lookup.
+        t.new_round(1, tag(1, 1), 2);
+        t.update_rules(1, rules_of(1, 0, {{1, 5, 3, 2}, {1, 6, 3, 2}}),
+                       tag(1, 1));
+        ref.mgmt = 2;
+      }
+      Rng rng(0xf10c ^ (static_cast<std::uint64_t>(policy) << 8) ^ mgmt);
+      for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t id = 1 + rng.next_below(40);
+        const auto op = rng.next_below(10);
+        if (op < 5) {
+          const FlowRule r = flow_of(id, static_cast<NodeId>(step));
+          ASSERT_EQ(t.install_flow(r), ref.install(r)) << "step " << step;
+        } else if (op < 7) {
+          ASSERT_EQ(t.remove_flow(id), ref.remove(id)) << "step " << step;
+        } else if (op < 9) {
+          const FlowRule h = flow_of(id, 0);
+          (void)t.lookup(h.src, h.dst);
+          ref.lookup(h.src, h.dst);
+        } else {
+          t.clear_flows();
+          ref.removals += ref.flows.size();
+          ref.flows.clear();
+        }
+        // Cheap invariants every step; full state diff sampled.
+        ASSERT_LE(t.occupancy(), 16u) << "step " << step;
+        ASSERT_EQ(t.flow_rules(), ref.flows.size()) << "step " << step;
+        if (step % 97 == 0) {
+          const auto& fs = t.flow_stats();
+          ASSERT_EQ(fs.installs, ref.installs) << "step " << step;
+          ASSERT_EQ(fs.removals, ref.removals) << "step " << step;
+          ASSERT_EQ(fs.overflow_rejects, ref.rejects) << "step " << step;
+          ASSERT_EQ(fs.flow_evictions, ref.evictions) << "step " << step;
+          ASSERT_EQ(fs.peak_rules, ref.peak) << "step " << step;
+          ASSERT_EQ(fs.lookups, ref.lookups) << "step " << step;
+          ASSERT_EQ(fs.lookup_cost, ref.lookup_cost) << "step " << step;
+          ASSERT_EQ(fs.installs,
+                    fs.removals + fs.flow_evictions + t.flow_rules());
+        }
+      }
+      // End-of-run: identical survivor sets (every eviction picked the same
+      // victim on both sides).
+      for (const auto& [id, e] : ref.flows) {
+        ASSERT_TRUE(t.remove_flow(id)) << "missing flow " << id;
+      }
+      ASSERT_EQ(t.flow_rules(), 0u);
+      if (mgmt > 0) {
+        EXPECT_TRUE(t.has_rules_of(1));  // management survived all pressure
+        EXPECT_EQ(t.total_rules(), 2u);
+      }
+    }
+  }
+}
+
+TEST(RuleTableFlows, RejectLowestRefusesNonBeatingPriorities) {
+  RuleTable t({/*max_rules=*/2});
+  t.set_eviction_policy(EvictionPolicy::RejectLowest);
+  EXPECT_TRUE(t.install_flow({1, 10, 20, /*prt=*/5, 3}));
+  EXPECT_TRUE(t.install_flow({2, 11, 21, /*prt=*/5, 3}));
+  // Equal priority does not displace (must strictly beat the lowest).
+  EXPECT_FALSE(t.install_flow({3, 12, 22, /*prt=*/5, 3}));
+  EXPECT_EQ(t.flow_stats().overflow_rejects, 1u);
+  // Higher priority evicts the lowest class's oldest entry (id 1).
+  EXPECT_TRUE(t.install_flow({4, 13, 23, /*prt=*/7, 3}));
+  EXPECT_EQ(t.flow_stats().flow_evictions, 1u);
+  EXPECT_FALSE(t.remove_flow(1));  // the victim
+  EXPECT_TRUE(t.remove_flow(2));
+  EXPECT_TRUE(t.remove_flow(4));
+}
+
+TEST(RuleTableFlows, PriorityLruSparesClassesAboveTheNewcomer) {
+  RuleTable t({/*max_rules=*/2});
+  EXPECT_TRUE(t.install_flow({1, 10, 20, /*prt=*/9, 3}));
+  EXPECT_TRUE(t.install_flow({2, 11, 21, /*prt=*/9, 3}));
+  // Priority-masked LRU: nothing at or below prt 4 exists, so reject.
+  EXPECT_FALSE(t.install_flow({3, 12, 22, /*prt=*/4, 3}));
+  EXPECT_EQ(t.flow_stats().overflow_rejects, 1u);
+  // An equal-priority newcomer evicts the LRU entry of its own class.
+  EXPECT_TRUE(t.install_flow({4, 13, 23, /*prt=*/9, 3}));
+  EXPECT_FALSE(t.remove_flow(1));
+  EXPECT_TRUE(t.remove_flow(2));
+}
+
+TEST(RuleTableFlows, LookupRefreshKeepsPopularFlowsAlive) {
+  RuleTable t({/*max_rules=*/2});
+  EXPECT_TRUE(t.install_flow({1, 10, 20, 0, 3}));
+  EXPECT_TRUE(t.install_flow({2, 11, 21, 0, 3}));
+  (void)t.lookup(10, 20);  // flow 1 becomes the most recently used
+  EXPECT_TRUE(t.install_flow({3, 12, 22, 0, 3}));
+  EXPECT_TRUE(t.remove_flow(1));   // survived: the lookup refreshed it
+  EXPECT_FALSE(t.remove_flow(2));  // the LRU victim
+}
+
+TEST(RuleTableFlows, ManagementInstallEvictsFlowsNeverTheReverse) {
+  RuleTable t({/*max_rules=*/4});
+  t.new_round(1, tag(1, 1), 2);
+  t.update_rules(1, rules_of(1, 0, {{1, 5, 3, 2}, {1, 6, 3, 2}}), tag(1, 1));
+  EXPECT_TRUE(t.install_flow({1, 10, 20, 9, 3}));
+  EXPECT_TRUE(t.install_flow({2, 11, 21, 9, 3}));
+  EXPECT_EQ(t.occupancy(), 4u);
+  // A flow at the cap cannot displace management rules: with no flow victim
+  // at or below prt 0 it is rejected outright.
+  RuleTable t2({/*max_rules=*/2});
+  t2.new_round(1, tag(1, 1), 2);
+  t2.update_rules(1, rules_of(1, 0, {{1, 5, 3, 2}, {1, 6, 3, 2}}), tag(1, 1));
+  EXPECT_FALSE(t2.install_flow({9, 10, 20, 99, 3}));
+  EXPECT_EQ(t2.total_rules(), 2u);
+  // A management install under pressure evicts flows first (protected rules
+  // stay; the flow store shrinks), charged to flow_evictions.
+  t.new_round(2, tag(2, 1), 2);
+  t.update_rules(2, rules_of(2, 0, {{2, 5, 3, 2}, {2, 6, 3, 2}}), tag(2, 1));
+  EXPECT_TRUE(t.has_rules_of(1));
+  EXPECT_TRUE(t.has_rules_of(2));
+  EXPECT_EQ(t.total_rules(), 4u);
+  EXPECT_EQ(t.flow_rules(), 0u);
+  EXPECT_EQ(t.flow_stats().flow_evictions, 2u);
+  EXPECT_EQ(t.evictions(), 0u);  // no owner was clog-evicted
+}
+
+TEST(RuleTableFlows, FlowEntriesJoinTheCandidateList) {
+  RuleTable t({1024});
+  t.new_round(7, tag(7, 1), 2);
+  t.update_rules(7, rules_of(7, 0, {{kNoNode, 9, 3, 100}}), tag(7, 1));
+  EXPECT_TRUE(t.install_flow({1, 5, 9, /*prt=*/8, 42}));
+  const auto& cands = t.candidates(5, 9);
+  ASSERT_GE(cands.size(), 2u);
+  // The exact-match flow entry outranks the wildcard management rule.
+  EXPECT_EQ(cands.front().fwd, 42);
+  // Flow mutations do not advance the monitor epoch (churn is not
+  // monitor-observable state).
+  const auto epoch = t.epoch();
+  EXPECT_TRUE(t.install_flow({2, 6, 9, 1, 43}));
+  EXPECT_TRUE(t.remove_flow(2));
+  t.clear_flows();
+  EXPECT_EQ(t.epoch(), epoch);
+}
+
 TEST(RuleTable, CorruptionIsRecoverableByResync) {
   RuleTable t({1024});
   t.new_round(7, tag(7, 1), 2);

@@ -46,9 +46,9 @@ void usage(std::FILE* to) {
                "  --controllers N,M,...  override the controller-count axis\n"
                "  --axis NAME=V1,V2,...  add/override a generic config axis\n"
                "                         (kappa, theta, task_delay_ms,\n"
-               "                         link_loss, victims); repeatable,\n"
-               "                         crossed with the topology/controller\n"
-               "                         grid\n"
+               "                         link_loss, victims, churn_rate,\n"
+               "                         table_capacity); repeatable, crossed\n"
+               "                         with the topology/controller grid\n"
                "  --trials N             seeded repetitions per grid cell\n"
                "  --seed S               campaign base seed\n"
                "  --threads N            worker threads (default: all cores)\n"
